@@ -1,0 +1,96 @@
+"""Ablation: fluid engine accuracy against the message-level DES.
+
+The large-scale experiments run on the fluid engine (DESIGN.md section
+1.1 substitution #3); this bench quantifies the substitution error on a
+static overlay both engines can run.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import publish
+from repro.experiments.reporting import render_table
+from repro.fluid.coverage import novelty_schedule
+from repro.fluid.flows import build_edge_arrays, propagate_flows
+from repro.overlay.network import NetworkConfig, OverlayNetwork
+from repro.overlay.topology import TopologyConfig, generate_topology
+from repro.simkit.engine import Simulator
+from repro.simkit.rng import RngRegistry
+from repro.workload.generator import QueryWorkload, WorkloadConfig
+
+
+def des_messages_per_min(n: int, rate_qpm: float, seed: int, minutes: float = 5.0):
+    topo = generate_topology(TopologyConfig(n=n, ba_m=2, seed=seed))
+    sim = Simulator()
+    net = OverlayNetwork(
+        sim,
+        topo,
+        config=NetworkConfig(hop_latency_jitter_s=0.0, seed=seed),
+        rng_registry=RngRegistry(seed),
+    )
+    wl = QueryWorkload(sim, net, WorkloadConfig(queries_per_minute=rate_qpm, seed=seed))
+    wl.start()
+    sim.run(until=minutes * 60.0)
+    return topo, net.stats.query_messages / minutes
+
+
+def fluid_messages_per_min(topo, rate_qpm: float):
+    n = topo.n
+    adj = {u: set(vs) for u, vs in enumerate(topo.adjacency)}
+    src, dst, rev = build_edge_arrays(adj)
+    sigma = novelty_schedule(topo.degrees(), 7, n=n)
+    flow = propagate_flows(
+        src,
+        dst,
+        rev,
+        n,
+        good_rate=np.full(n, rate_qpm),
+        attack_edge_inject=np.zeros(len(src)),
+        capacity=np.full(n, 1e12),
+        ttl=7,
+        sigma=sigma,
+    )
+    return flow.total_messages_per_min
+
+
+@pytest.mark.parametrize("n", [40, 60, 100])
+def test_fluid_within_model_error(n):
+    topo, des = des_messages_per_min(n, rate_qpm=6.0, seed=5)
+    fluid = fluid_messages_per_min(topo, 6.0)
+    assert 0.5 < fluid / des < 1.6, f"n={n}: fluid/DES = {fluid / des:.2f}"
+
+
+def test_fluid_vs_des_table(results_dir):
+    rows = []
+    for n in (40, 60, 100):
+        topo, des = des_messages_per_min(n, rate_qpm=6.0, seed=5)
+        fluid = fluid_messages_per_min(topo, 6.0)
+        rows.append([n, int(des), int(fluid), round(fluid / des, 2)])
+    text = render_table(
+        ["peers", "DES msgs/min", "fluid msgs/min", "ratio"],
+        rows,
+        title="Ablation: fluid-engine message volume vs message-level DES",
+    )
+    publish(results_dir, "ablation_fluid_vs_des", text)
+
+
+def test_bench_des_minute(benchmark):
+    """Cost of one simulated minute in the DES at n=60 (why the paper
+    scale needs the fluid engine)."""
+    topo = generate_topology(TopologyConfig(n=60, ba_m=2, seed=5))
+
+    def one_minute():
+        sim = Simulator()
+        net = OverlayNetwork(
+            sim,
+            topo,
+            config=NetworkConfig(hop_latency_jitter_s=0.0, seed=5),
+            rng_registry=RngRegistry(5),
+        )
+        wl = QueryWorkload(sim, net, WorkloadConfig(queries_per_minute=6.0, seed=5))
+        wl.start()
+        sim.run(until=60.0)
+        return net.stats.query_messages
+
+    msgs = benchmark.pedantic(one_minute, rounds=1, iterations=1)
+    assert msgs > 0

@@ -1,0 +1,101 @@
+"""Extension bench: overlay DDoS in a structured (Chord) P2P system.
+
+The paper's future work (Section 5). Compares the two lookup-flood modes
+and the adapted single-link defense: structure concentrates targeted
+attacks on the key owner, and deterministic routing lets a lone node
+detect floods without buddy groups.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.experiments.reporting import render_table
+from repro.structured.attack import LookupAttackConfig, LookupFlooder, route_events
+from repro.structured.chord import ChordConfig, ChordRing
+from repro.structured.defense import ChordPolice, ChordPoliceConfig
+
+
+def run_scenario(mode: str, defended: bool, *, n=128, minutes=4, seed=5):
+    # capacity chosen so the diffuse flood (~60k relayed lookups/min over
+    # 128 nodes) oversubscribes processing roughly 2x, as in Figures 9-11
+    ring = ChordRing(ChordConfig(n_nodes=n, processing_qpm=800.0, seed=seed))
+    rng = random.Random(seed)
+    target = ring.key_for("hot-object") if mode == "targeted" else None
+    flooder = LookupFlooder(
+        ring,
+        LookupAttackConfig(
+            agents=(0, 1, 2), rate_qpm=20_000.0, mode=mode,
+            target_key=target, per_agent_cap=1500, seed=seed,
+        ),
+    )
+    police = ChordPolice(ring, ChordPoliceConfig()) if defended else None
+
+    good_total = good_ok = 0
+    for minute in range(minutes):
+        t0 = minute * 60.0
+        good = []
+        for origin in range(n):
+            for i in range(2):
+                t = t0 + 60.0 * (i + rng.random()) / 2
+                good.append((t, origin, rng.randrange(ring.space)))
+        attack = flooder.events_for_minute(t0)
+        results = route_events(ring, good + attack, weight=1.0)
+        agents = set(flooder.config.agents)
+        for r in results:
+            if r.origin not in agents:
+                good_total += 1
+                good_ok += int(r.succeeded)
+        if police is not None:
+            police.step(float(minute + 1))
+    return {
+        "success": good_ok / max(1, good_total),
+        "links_cut": police.links_cut if police else 0,
+        "agents_flagged": len(police.suspected_nodes() & {0, 1, 2}) if police else 0,
+    }
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    out = {}
+    for mode in ("diffuse", "targeted"):
+        for defended in (False, True):
+            out[(mode, defended)] = run_scenario(mode, defended)
+    return out
+
+
+def test_structured_extension_table(results_dir, scenarios):
+    rows = []
+    for (mode, defended), r in sorted(scenarios.items()):
+        rows.append([
+            mode,
+            "chord-police" if defended else "none",
+            round(100 * r["success"], 1),
+            r["links_cut"],
+            r["agents_flagged"],
+        ])
+    text = render_table(
+        ["attack mode", "defense", "good-lookup success (%)",
+         "links cut", "agents flagged"],
+        rows,
+        title="Extension: lookup-flood DDoS on a 128-node Chord ring",
+    )
+    publish(results_dir, "extension_structured", text)
+
+
+def test_defense_restores_lookup_success(scenarios):
+    for mode in ("diffuse", "targeted"):
+        undefended = scenarios[(mode, False)]["success"]
+        defended = scenarios[(mode, True)]["success"]
+        assert defended >= undefended
+    assert scenarios[("diffuse", True)]["agents_flagged"] >= 2
+
+
+def test_bench_chord_minute(benchmark):
+    ring = ChordRing(ChordConfig(n_nodes=128, seed=5))
+    flooder = LookupFlooder(
+        ring,
+        LookupAttackConfig(agents=(0,), rate_qpm=10_000.0, per_agent_cap=1000, seed=5),
+    )
+    benchmark.pedantic(lambda: flooder.run_minute(0.0), rounds=1, iterations=1)

@@ -1,0 +1,40 @@
+"""Figures 5 & 6: the A->B->C testbed capacity sweep.
+
+Paper anchors: drops begin ~15,000 queries/min (Fig 5 knee); 47% of
+queries dropped at the agent maximum of ~29,000/min (Fig 6 endpoint).
+"""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.experiments.figures import fig5_processed_vs_sent, fig6_drop_rate_vs_density
+from repro.experiments.reporting import render_table
+from repro.testbed.pipeline import run_rate_sweep
+
+
+def test_fig5_processed_vs_sent(results_dir):
+    pts = fig5_processed_vs_sent()
+    text = render_table(
+        ["sent (q/min)", "processed (q/min)"],
+        [[int(x), int(y)] for x, y in pts],
+        title="Figure 5: queries sent vs processed at peer B",
+    )
+    publish(results_dir, "fig05_processed", text)
+    knee = next(x for x, y in pts if y < x)
+    assert 15_000 < knee <= 17_000
+
+
+def test_fig6_drop_rate(results_dir):
+    pts = fig6_drop_rate_vs_density()
+    text = render_table(
+        ["received (q/min)", "drop rate (%)"],
+        [[int(x), round(y, 1)] for x, y in pts],
+        title="Figure 6: query drop rate vs query density at peer B",
+    )
+    publish(results_dir, "fig06_droprate", text)
+    assert pts[-1][1] == pytest.approx(47.0, abs=1.5)
+
+
+def test_bench_rate_sweep(benchmark):
+    points = benchmark(run_rate_sweep)
+    assert len(points) == 29

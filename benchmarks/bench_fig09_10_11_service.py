@@ -1,0 +1,83 @@
+"""Figures 9-11: traffic cost, response time, success rate vs #agents.
+
+The shared sweep runs, for each agent density the paper uses
+(10..200 agents per 20,000 peers), three variants: no attack, attack
+without DD-POLICE, attack with DD-POLICE (CT=5, 2-minute exchange).
+
+Paper anchors (shape, not absolute numbers):
+* Fig 9 -- 10-20 agents roughly double the traffic; ~100 agents push it
+  an order of magnitude up; DD-POLICE stays near the no-attack cost with
+  a small control overhead.
+* Fig 10 -- ~100 agents raise mean response time ~2.4x.
+* Fig 11 -- up to ~90% of queries fail under attack; DD-POLICE restores
+  success close to the no-attack line.
+"""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.experiments import figures
+from repro.experiments.reporting import render_table
+
+
+@pytest.fixture(scope="module")
+def sweep(scale):
+    return figures.agent_sweep(scale, seed=7)
+
+
+def test_fig9_traffic_cost(results_dir, sweep):
+    rows = figures.fig9_traffic_cost(sweep)
+    text = render_table(
+        ["agents (paper-equiv)", "under DDoS", "DDoS + DD-POLICE", "no DDoS"],
+        [[a, round(x, 1), round(y, 1), round(z, 1)] for a, x, y, z in rows],
+        title="Figure 9: average traffic cost (10^3 messages/min)",
+    )
+    publish(results_dir, "fig09_traffic", text)
+    # attack inflates traffic; DD-POLICE pulls it back toward baseline
+    for _, attack, defended, baseline in rows:
+        assert attack > 1.5 * baseline
+        assert defended < attack
+    # smallest density already roughly doubles traffic
+    assert rows[0][1] > 2 * rows[0][3]
+
+
+def test_fig10_response_time(results_dir, sweep):
+    rows = figures.fig10_response_time(sweep)
+    text = render_table(
+        ["agents (paper-equiv)", "under DDoS", "DDoS + DD-POLICE", "no DDoS"],
+        [[a, round(x, 3), round(y, 3), round(z, 3)] for a, x, y, z in rows],
+        title="Figure 10: average response time (s)",
+    )
+    publish(results_dir, "fig10_response", text)
+    # response degrades with the heaviest attack, DD-POLICE recovers
+    heaviest = rows[-1]
+    assert heaviest[1] > 1.3 * heaviest[3]
+    assert heaviest[2] < heaviest[1]
+
+
+def test_fig11_success_rate(results_dir, sweep):
+    rows = figures.fig11_success_rate(sweep)
+    text = render_table(
+        ["agents (paper-equiv)", "under DDoS", "DDoS + DD-POLICE", "no DDoS"],
+        [[a, round(x, 1), round(y, 1), round(z, 1)] for a, x, y, z in rows],
+        title="Figure 11: average success rate (%)",
+    )
+    publish(results_dir, "fig11_success", text)
+    for _, attack, defended, baseline in rows:
+        assert attack < baseline
+        assert defended > attack
+    # heaviest attack wipes out most of the success rate
+    assert rows[-1][1] < 0.6 * rows[-1][3]
+    # DD-POLICE holds success within 20% of the clean baseline
+    assert rows[-1][2] > 0.7 * rows[-1][3]
+
+
+def test_bench_one_attack_minute(benchmark, scale):
+    """Per-minute simulation cost at the configured scale."""
+    from repro.fluid.model import FluidConfig, FluidSimulation
+
+    sim = FluidSimulation(
+        FluidConfig(n=scale.n_peers, num_agents=scale.agent_counts()[2], seed=7)
+    )
+    sim.run(2)  # warm
+    benchmark(sim.step)

@@ -1,0 +1,60 @@
+"""Section 3.6 scale claim + engine throughput.
+
+"in a real-world P2P system that usually has about 2 million peers
+online at any time, less than one thousand DDoS compromised peers could
+stress the system greatly" -- i.e. the damage depends on the agent
+*density*, not the absolute count. This bench shows damage at a fixed
+0.5% density is roughly scale-invariant across network sizes, which is
+what licenses the extrapolation, and measures engine throughput growth.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import publish
+from repro.experiments.reporting import render_table
+from repro.fluid.model import FluidConfig, FluidSimulation
+from repro.metrics.damage import damage_rate
+
+
+def damage_at_scale(n: int, density: float = 0.005, seed: int = 29) -> float:
+    agents = max(1, round(density * n))
+    base = FluidConfig(n=n, seed=seed, attack_start_min=4)
+    clean = FluidSimulation(base)
+    clean.run(12)
+    attacked = FluidSimulation(replace(base, num_agents=agents))
+    attacked.run(12)
+    s0 = np.mean([r.success_rate for r in clean.rows[-6:]])
+    s1 = np.mean([r.success_rate for r in attacked.rows[-6:]])
+    return damage_rate(float(s0), float(min(s1, s0)))
+
+
+@pytest.fixture(scope="module")
+def scaling_rows():
+    return [[n, round(damage_at_scale(n), 1)] for n in (500, 1000, 2000, 4000)]
+
+
+def test_scaling_table(results_dir, scaling_rows):
+    text = render_table(
+        ["peers", "damage at 0.5% agents (%)"],
+        scaling_rows,
+        title="Section 3.6: damage vs network size at fixed agent density",
+    )
+    publish(results_dir, "scaling", text)
+
+
+def test_damage_density_roughly_scale_invariant(scaling_rows):
+    damages = [d for _, d in scaling_rows]
+    assert all(d > 10 for d in damages), damages
+    # no systematic vanishing with scale: the largest network still takes
+    # at least half the damage of the smallest
+    assert damages[-1] > 0.4 * damages[0]
+
+
+def test_bench_minute_cost_by_scale(benchmark):
+    """Throughput anchor: one simulated minute at n=4000."""
+    sim = FluidSimulation(FluidConfig(n=4000, num_agents=20, seed=29))
+    sim.run(2)
+    benchmark(sim.step)

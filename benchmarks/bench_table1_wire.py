@@ -1,0 +1,62 @@
+"""Table 1: Neighbor_Traffic message body -- wire codec benchmark.
+
+Validates the byte layout once more at benchmark time and measures
+encode/decode throughput (the per-message cost DD-POLICE adds).
+"""
+
+from benchmarks.conftest import publish
+from repro.core.wire import (
+    HEADER_SIZE,
+    decode_neighbor_traffic,
+    encode_neighbor_traffic,
+)
+from repro.experiments.reporting import render_table
+from repro.overlay.ids import Guid, PeerId
+from repro.overlay.message import NeighborTrafficMessage
+
+
+def _message() -> NeighborTrafficMessage:
+    return NeighborTrafficMessage(
+        guid=Guid(b"\x01" * 16),
+        ttl=1,
+        hops=0,
+        source=PeerId(0x0A0B0C),
+        suspect=PeerId(0x010203),
+        timestamp=1_000_000,
+        outgoing_queries=4_321,
+        incoming_queries=987,
+    )
+
+
+def test_table1_layout(results_dir):
+    msg = _message()
+    raw = encode_neighbor_traffic(msg)
+    body = raw[HEADER_SIZE:]
+    rows = [
+        ["Source IP Address", 0, 4, msg.source.ipv4],
+        ["Suspect IP Address", 4, 4, msg.suspect.ipv4],
+        ["Source timestamp", 8, 4, msg.timestamp],
+        ["# of Outgoing queries", 12, 4, msg.outgoing_queries],
+        ["# of Incoming queries", 16, 4, msg.incoming_queries],
+    ]
+    text = render_table(
+        ["field", "byte offset", "size", "value"],
+        rows,
+        title="Table 1: Neighbor_Traffic message body (payload 0x83)",
+    )
+    publish(results_dir, "table1_wire", text)
+    assert len(body) == 20
+    assert raw[16] == 0x83
+    assert decode_neighbor_traffic(raw).outgoing_queries == 4_321
+
+
+def test_bench_encode(benchmark):
+    msg = _message()
+    raw = benchmark(encode_neighbor_traffic, msg)
+    assert len(raw) == HEADER_SIZE + 20
+
+
+def test_bench_decode(benchmark):
+    raw = encode_neighbor_traffic(_message())
+    msg = benchmark(decode_neighbor_traffic, raw)
+    assert msg.incoming_queries == 987

@@ -1,0 +1,41 @@
+"""Shared benchmark fixtures.
+
+Every ``bench_*`` module regenerates one table/figure of the paper (see
+DESIGN.md section 2). Results are printed and also written under
+``results/`` so the EXPERIMENTS.md comparison can be refreshed:
+
+    pytest benchmarks/ --benchmark-only -s
+
+Scale is controlled by ``REPRO_SCALE`` (bench | paper | smoke).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    # Non-default scales write to a subdirectory so the bench-scale
+    # tables cited by EXPERIMENTS.md are not clobbered.
+    scale_name = os.environ.get("REPRO_SCALE", "bench").lower()
+    target = RESULTS_DIR if scale_name == "bench" else RESULTS_DIR / scale_name
+    target.mkdir(parents=True, exist_ok=True)
+    return target
+
+
+@pytest.fixture(scope="session")
+def scale():
+    from repro.experiments.scenarios import active_scale
+
+    return active_scale()
+
+
+def publish(results_dir: Path, name: str, text: str) -> None:
+    """Print a result table and persist it for EXPERIMENTS.md."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Why the cut threshold matters: churn makes buddy groups stale.
+
+Section 3.1 analyzes how peers joining/leaving between neighbor-list
+exchanges corrupt the evidence DD-POLICE judges with. This example runs
+the fluid engine under the paper's churn (10-minute mean lifetimes,
+2-minute exchanges), shows the measured list staleness, and sweeps the
+cut threshold to expose the false-negative / false-positive tradeoff of
+Figure 13.
+
+Run:  python examples/churn_and_staleness.py
+"""
+
+from dataclasses import replace
+
+from repro.core.config import DDPoliceConfig
+from repro.experiments.reporting import render_table
+from repro.fluid.model import FluidConfig, FluidSimulation
+
+
+def main() -> None:
+    n, agents, minutes = 1000, 5, 22
+    base = FluidConfig(n=n, seed=19, num_agents=agents, attack_start_min=5)
+
+    # How stale do published neighbor lists get under the paper's churn?
+    probe = FluidSimulation(base)
+    probe.run(6)
+    staleness = sum(r.list_staleness for r in probe.rows) / len(probe.rows)
+    print(f"{n:,} peers, mean lifetime 10 min, exchange every 2 min:")
+    print(f"  mean published-list staleness: {100 * staleness:.1f}% of entries\n")
+
+    rows = []
+    for ct in (2.0, 3.0, 5.0, 7.0, 10.0):
+        cfg = replace(
+            base, defense="ddpolice",
+            police=DDPoliceConfig().with_cut_threshold(ct),
+        )
+        sim = FluidSimulation(cfg)
+        sim.run(minutes)
+        err = sim.error_counts()
+        tail = [r.success_rate for r in sim.rows if r.minute >= minutes - 5]
+        rows.append([
+            ct,
+            err.false_negative,
+            err.false_positive,
+            round(100 * sum(tail) / len(tail), 1),
+        ])
+    print(render_table(
+        ["cut threshold", "good peers wrongly cut", "agents missed",
+         "success % (tail)"],
+        rows,
+        title="Figure 13's tradeoff: evidence staleness vs cut threshold",
+    ))
+    print(
+        "\nLower CT reacts to staleness noise (more good peers cut); higher"
+        "\nCT lets slow-link attackers hover under the bar. The paper picks"
+        "\nCT = 5 as the compromise."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Future work, implemented: lookup-flood DDoS on a Chord DHT.
+
+The paper closes by proposing to study overlay DDoS in *structured*
+P2P systems. This example runs both flood modes on a 128-node Chord
+ring and shows how deterministic routing changes the game:
+
+* a targeted flood concentrates on one key's owner (structure focuses
+  the attack instead of diffusing it);
+* the defense no longer needs buddy groups -- single-path routing means
+  a node's outbound can only exceed its inbound by what it issued.
+
+Run:  python examples/structured_dht.py
+"""
+
+import random
+
+from repro.experiments.reporting import render_table
+from repro.structured.attack import LookupAttackConfig, LookupFlooder, route_events
+from repro.structured.chord import ChordConfig, ChordRing
+from repro.structured.defense import ChordPolice, ChordPoliceConfig
+
+
+def run(mode: str, defended: bool, minutes: int = 4, seed: int = 5):
+    ring = ChordRing(ChordConfig(n_nodes=128, processing_qpm=800.0, seed=seed))
+    rng = random.Random(seed)
+    target = ring.key_for("hot-object") if mode == "targeted" else None
+    flooder = LookupFlooder(
+        ring,
+        LookupAttackConfig(agents=(0, 1, 2), rate_qpm=20_000.0, mode=mode,
+                           target_key=target, per_agent_cap=1500, seed=seed),
+    )
+    police = ChordPolice(ring, ChordPoliceConfig()) if defended else None
+    good_total = good_ok = 0
+    for minute in range(minutes):
+        t0 = minute * 60.0
+        good = [
+            (t0 + 60.0 * (i + rng.random()) / 2, origin, rng.randrange(ring.space))
+            for origin in range(128)
+            for i in range(2)
+        ]
+        results = route_events(ring, good + flooder.events_for_minute(t0))
+        for r in results:
+            if r.origin not in (0, 1, 2):
+                good_total += 1
+                good_ok += int(r.succeeded)
+        if police is not None:
+            police.step(float(minute + 1))
+    flagged = sorted(police.suspected_nodes() & {0, 1, 2}) if police else []
+    return 100.0 * good_ok / good_total, flagged
+
+
+def main() -> None:
+    rows = []
+    for mode in ("diffuse", "targeted"):
+        base, _ = run(mode, defended=False)
+        defended, flagged = run(mode, defended=True)
+        rows.append([mode, round(base, 1), round(defended, 1),
+                     ",".join(map(str, flagged)) or "-"])
+    print(render_table(
+        ["flood mode", "success % (no defense)", "success % (defended)",
+         "agents flagged"],
+        rows,
+        title="lookup-flood DDoS on a 128-node Chord ring (3 agents)",
+    ))
+    print(
+        "\nStructure concentrates targeted floods on the key owner; the"
+        "\nadapted detector (outbound - inbound - normal rate) spares the"
+        "\nrelays that a naive per-link rate cutoff would punish."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""DD-POLICE: defending unstructured P2P systems from overlay
+flooding-based DDoS.
+
+Reproduction of Liu, Liu, Wang & Xiao, *Defending P2Ps from Overlay
+Flooding-based DDoS*, ICPP 2007. The package provides:
+
+* :mod:`repro.core` -- the DD-POLICE protocol (indicators, buddy groups,
+  Neighbor_Traffic messages, bad-peer recognition);
+* :mod:`repro.overlay` -- a message-level Gnutella-style overlay with
+  flooding search, topology generation, bandwidth and content models;
+* :mod:`repro.fluid` -- a vectorized fluid-flow engine for paper-scale
+  experiments (20,000 peers);
+* :mod:`repro.attack`, :mod:`repro.churn`, :mod:`repro.workload`,
+  :mod:`repro.testbed` -- the attack, dynamics, workload, and physical
+  testbed models of Sections 2 and 3.5;
+* :mod:`repro.baselines` -- naive rate cutoff and query-flood load
+  balancing comparators;
+* :mod:`repro.experiments`, :mod:`repro.metrics` -- the harness that
+  regenerates every evaluation figure.
+
+Quickstart
+----------
+>>> from repro import FluidConfig, FluidSimulation
+>>> sim = FluidSimulation(FluidConfig(n=500, num_agents=3, defense="ddpolice"))
+>>> rows = sim.run(minutes=10)
+>>> rows[-1].success_rate > 0
+True
+"""
+
+from repro.core import (
+    DDPoliceConfig,
+    DDPoliceEngine,
+    deploy_ddpolice,
+    general_indicator,
+    single_indicator,
+    is_bad_peer,
+)
+from repro.fluid import FluidConfig, FluidSimulation
+from repro.experiments import DESConfig, run_des_experiment
+from repro.overlay import (
+    OverlayNetwork,
+    NetworkConfig,
+    TopologyConfig,
+    generate_topology,
+)
+from repro.simkit import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DDPoliceConfig",
+    "DDPoliceEngine",
+    "deploy_ddpolice",
+    "general_indicator",
+    "single_indicator",
+    "is_bad_peer",
+    "FluidConfig",
+    "FluidSimulation",
+    "DESConfig",
+    "run_des_experiment",
+    "OverlayNetwork",
+    "NetworkConfig",
+    "TopologyConfig",
+    "generate_topology",
+    "Simulator",
+    "__version__",
+]

@@ -1,0 +1,59 @@
+"""Attacker reporting strategies for Neighbor_Traffic messages.
+
+Section 3.4 analyzes the choices a bad peer j has when a buddy group it
+belongs to (e.g. BG1-m) asks for traffic reports:
+
+1. **not to cheat** -- report true counts; the group exonerates the good
+   forwarder m and convicts j in BG1-j anyway;
+2. **cheat high** (inflate) -- report more than it really sent to m; only
+   strengthens m's innocence ("not a meaningful cheating");
+3. **cheat low** (deflate) -- report less; may get the good forwarder m
+   wrongly disconnected, but that isolates j's own attack traffic;
+4. **refuse to report** (silent) -- treated as reporting 0, i.e. the same
+   as case 2's outcome: "if a peer has not received a Neighbor_Traffic
+   message from peer j within a predefined time period, it just assumes
+   that peer j sent 0 query to peer m."
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+from repro.errors import ConfigError
+
+
+class CheatStrategy(enum.Enum):
+    """How a compromised peer answers Neighbor_Traffic requests."""
+
+    HONEST = "honest"
+    INFLATE = "inflate"
+    DEFLATE = "deflate"
+    SILENT = "silent"
+
+
+def apply_cheat(
+    strategy: CheatStrategy,
+    true_outgoing: int,
+    true_incoming: int,
+    *,
+    inflate_factor: float = 10.0,
+    deflate_factor: float = 0.01,
+) -> Optional[Tuple[int, int]]:
+    """Transform true per-minute counts according to the strategy.
+
+    Returns ``(reported_outgoing, reported_incoming)`` or ``None`` when the
+    peer refuses to report (SILENT). The receiving side maps ``None`` to
+    ``(0, 0)`` per the protocol rule quoted above.
+    """
+    if true_outgoing < 0 or true_incoming < 0:
+        raise ConfigError("query counts must be non-negative")
+    if strategy is CheatStrategy.SILENT:
+        return None
+    if strategy is CheatStrategy.HONEST:
+        return (true_outgoing, true_incoming)
+    if strategy is CheatStrategy.INFLATE:
+        return (int(true_outgoing * inflate_factor), true_incoming)
+    if strategy is CheatStrategy.DEFLATE:
+        return (int(true_outgoing * deflate_factor), true_incoming)
+    raise ConfigError(f"unknown strategy {strategy!r}")  # pragma: no cover

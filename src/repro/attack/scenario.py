@@ -1,0 +1,102 @@
+"""Attack scenario: selecting and launching compromised peers.
+
+Section 3.6: "In each of the simulations, k random peers, where k is
+ranging from 10 to 200, are selected as DDoS compromised peers and each of
+them keeps sending out attack queries at the maximum rate they are capable
+of."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.attack.agent import AgentConfig, DDoSAgent
+from repro.attack.cheating import CheatStrategy
+from repro.errors import ConfigError
+from repro.overlay.bandwidth import BandwidthClass, BandwidthModel
+from repro.overlay.ids import PeerId
+from repro.overlay.network import OverlayNetwork
+from repro.simkit.engine import Simulator
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Attack-scenario parameters."""
+
+    num_agents: int = 10
+    start_time_s: float = 0.0
+    nominal_rate_qpm: float = 20_000.0
+    per_neighbor: bool = True
+    cheat_strategy: CheatStrategy = CheatStrategy.SILENT
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_agents < 0:
+            raise ConfigError("num_agents must be non-negative")
+        if self.start_time_s < 0:
+            raise ConfigError("start_time_s must be non-negative")
+        if self.nominal_rate_qpm <= 0:
+            raise ConfigError("nominal_rate_qpm must be positive")
+
+
+class AttackScenario:
+    """Selects k random compromised peers and arms their agents."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: OverlayNetwork,
+        config: ScenarioConfig,
+        *,
+        bandwidth_model: Optional[BandwidthModel] = None,
+        bandwidth_classes: Optional[Dict[int, BandwidthClass]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if config.num_agents > len(network.peers):
+            raise ConfigError(
+                f"cannot compromise {config.num_agents} of {len(network.peers)} peers"
+            )
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self._rng = rng or random.Random(config.seed)
+        self.agents: Dict[PeerId, DDoSAgent] = {}
+
+        all_ids = sorted(network.peers.keys(), key=lambda p: p.value)
+        chosen = self._rng.sample(all_ids, config.num_agents)
+        for pid in chosen:
+            link_cap = float("inf")
+            if bandwidth_classes and pid.value in bandwidth_classes:
+                cls = bandwidth_classes[pid.value]
+                bw = bandwidth_model or BandwidthModel()
+                link_cap = bw.upstream_qpm(cls)
+            agent_cfg = AgentConfig(
+                nominal_rate_qpm=config.nominal_rate_qpm,
+                link_capacity_qpm=link_cap,
+                per_neighbor=config.per_neighbor,
+                cheat_strategy=config.cheat_strategy,
+            )
+            self.agents[pid] = DDoSAgent(
+                sim, network, pid, agent_cfg, rng=random.Random(self._rng.getrandbits(32))
+            )
+
+    @property
+    def compromised(self) -> Set[PeerId]:
+        return set(self.agents.keys())
+
+    def launch(self) -> None:
+        """Schedule every agent to start at ``start_time_s``."""
+        for agent in self.agents.values():
+            if self.config.start_time_s <= self.sim.now:
+                agent.start()
+            else:
+                self.sim.schedule_at(self.config.start_time_s, agent.start)
+
+    def stop_all(self) -> None:
+        for agent in self.agents.values():
+            agent.stop()
+
+    def total_attack_queries(self) -> int:
+        return sum(a.queries_sent for a in self.agents.values())

@@ -1,0 +1,20 @@
+"""Baseline defenses DD-POLICE is compared against.
+
+* :mod:`~repro.baselines.naive` -- the naive rate cutoff the paper argues
+  is dangerous ("Disconnecting all the peers who send out a large number
+  of queries is dangerous in that a large number of good peers could be
+  forwarding queries for bad peers", Section 2.1).
+* :mod:`~repro.baselines.load_balance` -- the Daswani & Garcia-Molina
+  query-flood load-balancing defense ([21], CCS'02), the paper's "most
+  related work": fair-share forwarding without identifying attackers.
+"""
+
+from repro.baselines.naive import NaiveCutoffDefense, NaiveCutoffConfig
+from repro.baselines.load_balance import LoadBalancingDefense, LoadBalancingConfig
+
+__all__ = [
+    "NaiveCutoffDefense",
+    "NaiveCutoffConfig",
+    "LoadBalancingDefense",
+    "LoadBalancingConfig",
+]

@@ -1,0 +1,100 @@
+"""Query-flood load balancing (Daswani & Garcia-Molina, CCS'02).
+
+The paper's closest related work ([21]): instead of identifying
+attackers, each peer gives every neighbor a *fair share* of its limited
+forwarding capacity. "It is basically a survival approach: it does not
+require servers to distinguish attack queries from normal queries, but
+maintain a fair load distribution ... However, this approach could be
+less effective when the number of DDoS agents is getting large."
+
+Implementation: a per-peer forwarding budget of ``capacity_qpm`` is split
+per incoming neighbor each minute (fractional drop beyond the share).
+Attached as a ``forward_filter`` on the peer so it composes with the rest
+of the message pipeline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.overlay.ids import PeerId
+from repro.overlay.message import Query
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.peer import Peer
+
+
+@dataclass(frozen=True)
+class LoadBalancingConfig:
+    """Fair-share forwarding parameters."""
+
+    capacity_qpm: float = 10_000.0
+    #: Reserve headroom so shares sum below capacity (stability margin).
+    utilization_target: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.capacity_qpm <= 0:
+            raise ConfigError("capacity_qpm must be positive")
+        if not (0 < self.utilization_target <= 1):
+            raise ConfigError("utilization_target must be in (0, 1]")
+
+
+class LoadBalancingDefense:
+    """Per-peer fair-share forwarding limiter."""
+
+    def __init__(
+        self,
+        network: OverlayNetwork,
+        peer: Peer,
+        config: LoadBalancingConfig = LoadBalancingConfig(),
+        *,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.network = network
+        self.peer = peer
+        self.config = config
+        self._rng = rng or random.Random(peer.id.value ^ 0x5BD1)
+        # Per-source tokens consumed this minute.
+        self._used_this_minute: Dict[PeerId, float] = {}
+        self.queries_shed = 0
+        peer.query_taps.append(self._account)
+        peer.forward_filters.append(self._filter)
+        network.minute_listeners.append(self._on_minute)
+        self._current_source: Optional[PeerId] = None
+
+    # The tap runs before processing and tells us which neighbor the
+    # in-flight query came from; the filter then applies that source's
+    # fair share.
+    def _account(self, src: PeerId, query: Query) -> None:
+        self._current_source = src
+
+    def _fair_share_qpm(self) -> float:
+        k = max(1, len(self.peer.neighbors))
+        return self.config.capacity_qpm * self.config.utilization_target / k
+
+    def _filter(self, query: Query, targets: List[PeerId]) -> List[PeerId]:
+        src = self._current_source
+        if src is None:
+            return targets
+        share = self._fair_share_qpm()
+        used = self._used_this_minute.get(src, 0.0)
+        if used >= share:
+            self.queries_shed += 1
+            return []  # shed: this source exhausted its share
+        self._used_this_minute[src] = used + 1.0
+        return targets
+
+    def _on_minute(self, minute: int, now: float) -> None:
+        self._used_this_minute.clear()
+
+
+def deploy_load_balancing(
+    network: OverlayNetwork, config: LoadBalancingConfig = LoadBalancingConfig()
+) -> Dict[PeerId, LoadBalancingDefense]:
+    """Attach fair-share forwarding to every peer."""
+    return {
+        pid: LoadBalancingDefense(network, peer, config)
+        for pid, peer in network.peers.items()
+    }

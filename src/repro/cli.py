@@ -1,0 +1,189 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Installed as ``repro-experiments``::
+
+    repro-experiments list
+    repro-experiments fig9 fig10 fig11          # shared sweep, run once
+    repro-experiments fig12 --scale smoke
+    repro-experiments all --scale bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments import figures
+from repro.experiments.reporting import render_table, render_timelines
+from repro.experiments.scenarios import (
+    Scale,
+    bench_scale,
+    paper_scale,
+    smoke_scale,
+)
+
+_SCALES = {"bench": bench_scale, "paper": paper_scale, "smoke": smoke_scale}
+
+
+def _run_fig5(scale: Scale) -> str:
+    pts = figures.fig5_processed_vs_sent()
+    return render_table(
+        ["sent (q/min)", "processed (q/min)"],
+        [[int(x), int(y)] for x, y in pts],
+        title="Figure 5",
+    )
+
+
+def _run_fig6(scale: Scale) -> str:
+    pts = figures.fig6_drop_rate_vs_density()
+    return render_table(
+        ["received (q/min)", "drop rate (%)"],
+        [[int(x), round(y, 1)] for x, y in pts],
+        title="Figure 6",
+    )
+
+
+_SWEEP_CACHE: Dict[str, List[figures.AgentSweepRow]] = {}
+
+
+def _agent_sweep(scale: Scale) -> List[figures.AgentSweepRow]:
+    key = scale.name
+    if key not in _SWEEP_CACHE:
+        _SWEEP_CACHE[key] = figures.agent_sweep(scale, seed=7)
+    return _SWEEP_CACHE[key]
+
+
+def _run_fig9(scale: Scale) -> str:
+    rows = figures.fig9_traffic_cost(_agent_sweep(scale))
+    return render_table(
+        ["agents", "under DDoS", "with DD-POLICE", "no DDoS"],
+        [[a, round(x, 1), round(y, 1), round(z, 1)] for a, x, y, z in rows],
+        title="Figure 9: traffic cost (k msgs/min)",
+    )
+
+
+def _run_fig10(scale: Scale) -> str:
+    rows = figures.fig10_response_time(_agent_sweep(scale))
+    return render_table(
+        ["agents", "under DDoS", "with DD-POLICE", "no DDoS"],
+        [[a, round(x, 3), round(y, 3), round(z, 3)] for a, x, y, z in rows],
+        title="Figure 10: response time (s)",
+    )
+
+
+def _run_fig11(scale: Scale) -> str:
+    rows = figures.fig11_success_rate(_agent_sweep(scale))
+    return render_table(
+        ["agents", "under DDoS", "with DD-POLICE", "no DDoS"],
+        [[a, round(x, 1), round(y, 1), round(z, 1)] for a, x, y, z in rows],
+        title="Figure 11: success rate (%)",
+    )
+
+
+def _run_fig12(scale: Scale) -> str:
+    timelines = figures.damage_timelines(scale, seed=11)
+    header = ["minute"] + [t.label for t in timelines]
+    rows = []
+    for i, minute in enumerate(timelines[0].minutes):
+        rows.append([minute] + [round(t.damage_pct[i], 1) for t in timelines])
+    table = render_table(header, rows, title="Figure 12: damage rate (%)")
+    sparks = render_timelines(
+        [t.label for t in timelines],
+        [t.damage_pct for t in timelines],
+        title="damage over time (0..100%)",
+        hi=100.0,
+    )
+    return table + "\n\n" + sparks
+
+
+def _run_fig13(scale: Scale) -> str:
+    rows = figures.fig13_errors(figures.cut_threshold_sweep(scale, seed=13))
+    return render_table(
+        ["CT", "false judgment", "false positive", "false negative"],
+        rows,
+        title="Figure 13: errors vs cut threshold",
+    )
+
+
+def _run_fig14(scale: Scale) -> str:
+    import math
+
+    rows = figures.fig14_recovery(figures.cut_threshold_sweep(scale, seed=13))
+    return render_table(
+        ["CT", "recovery (min)"],
+        [[ct, ("n/a" if math.isnan(v) else round(v, 1))] for ct, v in rows],
+        title="Figure 14: damage recovery time",
+    )
+
+
+def _run_exchange(scale: Scale) -> str:
+    rows = figures.exchange_frequency_study(scale, seed=17)
+    return render_table(
+        ["policy", "false judgment", "overhead (k/min)", "damage (%)"],
+        [
+            [r.policy, r.false_judgment, round(r.control_overhead_kqpm, 2),
+             round(r.stabilized_damage_pct, 1)]
+            for r in rows
+        ],
+        title="Section 3.7.1: exchange frequency",
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[[Scale], str]] = {
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig9": _run_fig9,
+    "fig10": _run_fig10,
+    "fig11": _run_fig11,
+    "fig12": _run_fig12,
+    "fig13": _run_fig13,
+    "fig14": _run_fig14,
+    "exchange": _run_exchange,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the DD-POLICE paper's evaluation artifacts.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (see `list`), or `all`",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="bench",
+        help="network scale (default: bench = 2,000 peers)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiments == ["list"]:
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    wanted = (
+        sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    )
+    unknown = [e for e in wanted if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    scale = _SCALES[args.scale]()
+    for name in wanted:
+        print(EXPERIMENTS[name](scale))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+"""DD-POLICE: the paper's primary contribution.
+
+Defending P2Ps from Overlay Distributed-Denial-of-Service (Section 3):
+peers police their direct neighbors' query behaviour by cooperating with
+each suspect's buddy group, then disconnect peers whose General or Single
+indicator exceeds the cut threshold CT.
+
+Module map
+----------
+``config``      tunables (q, warning threshold, CT, exchange period, ...)
+``indicators``  Definitions 2.1-2.3: g(j,t), s(j,t,i), classification
+``monitor``     per-neighbor In_query / Out_query minute windows
+``wire``        Gnutella 0.6 header + Neighbor_Traffic body codec (Table 1)
+``buddy``       buddy groups BG1-j (and the BGr-j generalization)
+``exchange``    neighbor-list exchange policies + lying detection
+``evidence``    per-suspect report collection with the 5 s window
+``police``      the per-peer protocol engine for the message-level overlay
+"""
+
+from repro.core.config import DDPoliceConfig, ExchangePolicy
+from repro.core.indicators import (
+    NeighborReport,
+    general_indicator,
+    single_indicator,
+    indicators_from_reports,
+    is_bad_peer,
+)
+from repro.core.monitor import TrafficMonitor
+from repro.core.buddy import BuddyGroup, buddy_group_of
+from repro.core.wire import (
+    GnutellaHeader,
+    encode_neighbor_traffic,
+    decode_neighbor_traffic,
+    encode_neighbor_list,
+    decode_neighbor_list,
+)
+from repro.core.exchange import NeighborListDirectory, ListExchangeProtocol
+from repro.core.evidence import Investigation, InvestigationOutcome
+from repro.core.police import DDPoliceEngine, deploy_ddpolice
+
+__all__ = [
+    "DDPoliceConfig",
+    "ExchangePolicy",
+    "NeighborReport",
+    "general_indicator",
+    "single_indicator",
+    "indicators_from_reports",
+    "is_bad_peer",
+    "TrafficMonitor",
+    "BuddyGroup",
+    "buddy_group_of",
+    "GnutellaHeader",
+    "encode_neighbor_traffic",
+    "decode_neighbor_traffic",
+    "encode_neighbor_list",
+    "decode_neighbor_list",
+    "NeighborListDirectory",
+    "ListExchangeProtocol",
+    "Investigation",
+    "InvestigationOutcome",
+    "DDPoliceEngine",
+    "deploy_ddpolice",
+]

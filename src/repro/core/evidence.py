@@ -1,0 +1,111 @@
+"""Per-suspect evidence collection (Section 3.3).
+
+When a peer marks a neighbor suspicious it opens an :class:`Investigation`
+against it: it sends Neighbor_Traffic to the other buddy-group members and
+waits up to the collection window (5 seconds) for their reports. A member
+that never answers is assumed to have exchanged 0 queries with the suspect
+("it just assumes that peer j sent 0 query to peer m"). When all expected
+reports are in -- or the window expires -- the indicators are computed and
+compared with the cut threshold.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Optional, Tuple
+
+from repro.core.config import DDPoliceConfig
+from repro.core.indicators import NeighborReport, indicators_from_reports
+from repro.errors import ConfigError, ProtocolError
+
+
+class InvestigationOutcome(enum.Enum):
+    PENDING = "pending"
+    CLEARED = "cleared"
+    CONVICTED = "convicted"
+
+
+@dataclass
+class Investigation:
+    """Evidence about one suspect, held by one observer."""
+
+    observer: Hashable
+    suspect: Hashable
+    started_at: float
+    expected_members: FrozenSet[Hashable]
+    own_out_to_suspect: int
+    own_in_from_suspect: int
+    reports: Dict[Hashable, Optional[NeighborReport]] = field(default_factory=dict)
+    outcome: InvestigationOutcome = InvestigationOutcome.PENDING
+    g_value: Optional[float] = None
+    s_value: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.observer == self.suspect:
+            raise ConfigError("a peer cannot investigate itself")
+        if self.observer in self.expected_members:
+            raise ConfigError("expected_members must exclude the observer")
+        if self.suspect in self.expected_members:
+            raise ConfigError("expected_members must exclude the suspect")
+        if self.own_out_to_suspect < 0 or self.own_in_from_suspect < 0:
+            raise ConfigError("own counts must be non-negative")
+
+    # ------------------------------------------------------------------
+    def add_report(self, member: Hashable, report: NeighborReport) -> bool:
+        """Record a member's report; late/unexpected members are ignored.
+
+        Returns True if the report was accepted.
+        """
+        if self.outcome is not InvestigationOutcome.PENDING:
+            return False
+        if member not in self.expected_members:
+            return False
+        self.reports[member] = report
+        return True
+
+    @property
+    def complete(self) -> bool:
+        """All expected members have reported."""
+        return set(self.reports.keys()) >= set(self.expected_members)
+
+    @property
+    def missing_members(self) -> FrozenSet[Hashable]:
+        return frozenset(self.expected_members - set(self.reports.keys()))
+
+    # ------------------------------------------------------------------
+    def decide(self, config: DDPoliceConfig) -> InvestigationOutcome:
+        """Compute indicators and settle the investigation.
+
+        Missing reports become None entries -- mapped to (0,0) inside
+        :func:`indicators_from_reports` when ``assume_zero_on_missing``.
+        """
+        if self.outcome is not InvestigationOutcome.PENDING:
+            return self.outcome
+        full_reports: Dict[Hashable, Optional[NeighborReport]] = dict(self.reports)
+        for member in self.expected_members:
+            if member not in full_reports:
+                if not config.assume_zero_on_missing:
+                    # Without the assume-zero rule, silence stalls the
+                    # decision; treat the suspect as cleared this round.
+                    self.outcome = InvestigationOutcome.CLEARED
+                    return self.outcome
+                full_reports[member] = None
+        g, s = indicators_from_reports(
+            observer=self.observer,
+            own_out_to_j=self.own_out_to_suspect,
+            own_in_from_j=self.own_in_from_suspect,
+            reports=full_reports,
+            q=config.q_threshold_qpm,
+        )
+        self.g_value, self.s_value = g, s
+        if g > config.cut_threshold or s > config.cut_threshold:
+            self.outcome = InvestigationOutcome.CONVICTED
+        else:
+            self.outcome = InvestigationOutcome.CLEARED
+        return self.outcome
+
+    def indicator_pair(self) -> Tuple[float, float]:
+        if self.g_value is None or self.s_value is None:
+            raise ProtocolError("investigation has not been decided yet")
+        return self.g_value, self.s_value

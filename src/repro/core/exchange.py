@@ -1,0 +1,151 @@
+"""Neighbor-list exchange (Section 3.1).
+
+Two policies are compared in Section 3.7.1:
+
+* **periodic** -- every peer sends its neighbor list to all neighbors
+  every ``s`` minutes (the paper settles on s = 2);
+* **event-driven** -- a peer reports whenever a neighbor joins or leaves
+  ("favorable to relatively stable networks, but will cause some peers to
+  be super busy ... if the network is highly dynamic").
+
+The directory also implements the lying countermeasure: exchanged lists
+are cross-checked pairwise; inconsistent claims earn strikes and, past a
+tolerance, disconnection with an explanatory Bye.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from repro.core.config import DDPoliceConfig, ExchangePolicy
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ListSnapshot:
+    """A neighbor list received from one peer."""
+
+    owner: Hashable
+    neighbors: FrozenSet[Hashable]
+    received_at: float
+
+
+class NeighborListDirectory:
+    """Last-known neighbor lists, as seen by one observer.
+
+    Staleness matters: between exchanges, churn makes lists wrong with
+    probability ~ period/lifetime (the "around 3%" analysis in
+    Section 3.1), which is the mechanism behind CT-dependent misjudgment.
+    """
+
+    def __init__(self) -> None:
+        self._lists: Dict[Hashable, ListSnapshot] = {}
+
+    def update(self, owner: Hashable, neighbors: Set[Hashable], now: float) -> None:
+        self._lists[owner] = ListSnapshot(
+            owner=owner, neighbors=frozenset(neighbors), received_at=now
+        )
+
+    def forget(self, owner: Hashable) -> None:
+        self._lists.pop(owner, None)
+
+    def get(self, owner: Hashable) -> Optional[ListSnapshot]:
+        return self._lists.get(owner)
+
+    def known_neighbors(self, owner: Hashable) -> FrozenSet[Hashable]:
+        snap = self._lists.get(owner)
+        return snap.neighbors if snap else frozenset()
+
+    def age(self, owner: Hashable, now: float) -> Optional[float]:
+        snap = self._lists.get(owner)
+        return (now - snap.received_at) if snap else None
+
+    def owners(self) -> List[Hashable]:
+        return list(self._lists.keys())
+
+    # ------------------------------------------------------------------
+    def find_inconsistencies(self) -> List[Tuple[Hashable, Hashable]]:
+        """Pairs (a, b) where a's list claims b but b's list omits a.
+
+        Only pairs with *both* lists present are judged; the claim is
+        asymmetric, so (a, b) means "a claims b as a neighbor and b's own
+        list contradicts it".
+        """
+        bad: List[Tuple[Hashable, Hashable]] = []
+        for owner, snap in self._lists.items():
+            for claimed in snap.neighbors:
+                other = self._lists.get(claimed)
+                if other is not None and owner not in other.neighbors:
+                    bad.append((owner, claimed))
+        return bad
+
+
+class ConsistencyTracker:
+    """Per-pair strike counter behind the liar-disconnection rule.
+
+    "If it gets too many such messages, the good peer will disconnect
+    with the neighbor."
+
+    Strikes are keyed by the unordered *pair* whose claims disagree, so a
+    single stale relationship cannot aggregate blame onto a peer across
+    unrelated pairs; and observing the pair consistent again forgives it
+    (transient churn races self-heal, persistent lies do not).
+    """
+
+    def __init__(self, tolerance: int) -> None:
+        if tolerance < 1:
+            raise ConfigError("tolerance must be >= 1")
+        self.tolerance = tolerance
+        self._strikes: Dict[FrozenSet[Hashable], int] = {}
+
+    @staticmethod
+    def _key(a: Hashable, b: Hashable) -> FrozenSet[Hashable]:
+        return frozenset((a, b))
+
+    def strike(self, a: Hashable, b: Hashable) -> bool:
+        """Record a strike against pair (a, b); True once intolerable."""
+        key = self._key(a, b)
+        self._strikes[key] = self._strikes.get(key, 0) + 1
+        return self._strikes[key] >= self.tolerance
+
+    def observe_consistent(self, a: Hashable, b: Hashable) -> None:
+        """The pair's lists agree again: forgive accumulated strikes."""
+        self._strikes.pop(self._key(a, b), None)
+
+    def strikes(self, a: Hashable, b: Hashable) -> int:
+        return self._strikes.get(self._key(a, b), 0)
+
+    def strikes_involving(self, peer: Hashable) -> int:
+        return sum(c for k, c in self._strikes.items() if peer in k)
+
+    def clear(self, a: Hashable, b: Hashable) -> None:
+        self._strikes.pop(self._key(a, b), None)
+
+
+class ListExchangeProtocol:
+    """Policy wrapper deciding *when* lists are (re)sent.
+
+    Transport-agnostic: the owner supplies ``send_list(targets)`` which
+    actually emits the message. The DES engine calls
+    :meth:`on_timer_tick` from a PeriodicTask (periodic policy) and
+    :meth:`on_membership_change` from the peer's connect/disconnect hooks
+    (event-driven policy counts and emits there instead).
+    """
+
+    def __init__(
+        self,
+        config: DDPoliceConfig,
+        send_list: Callable[[], int],
+    ) -> None:
+        self.config = config
+        self._send_list = send_list
+        self.exchanges_sent = 0
+
+    def on_timer_tick(self) -> None:
+        if self.config.exchange_policy is ExchangePolicy.PERIODIC:
+            self.exchanges_sent += self._send_list()
+
+    def on_membership_change(self) -> None:
+        if self.config.exchange_policy is ExchangePolicy.EVENT_DRIVEN:
+            self.exchanges_sent += self._send_list()

@@ -1,0 +1,102 @@
+"""Neighbor query-traffic monitoring (Section 3.2).
+
+"Two lists are designed in a peer for each of its logical neighbors,
+Out_query(i) and In_query(i), to record the number of queries per minute
+from and to the neighboring i."
+
+:class:`TrafficMonitor` keeps a bounded history of completed minute
+windows per neighbor, fed by the peer's window rollover, and answers the
+two protocol questions: the latest Out_query(i)/In_query(i) pair (what a
+Neighbor_Traffic report carries) and whether a neighbor crossed the
+warning threshold.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Hashable, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MinuteSample:
+    """Counts for one completed minute window for one neighbor."""
+
+    minute: int
+    out_queries: int
+    in_queries: int
+
+
+class TrafficMonitor:
+    """Bounded per-neighbor history of minute-window counts.
+
+    Keys are generic hashables (PeerId in the DES, int node ids in the
+    fluid engine).
+    """
+
+    def __init__(self, history_minutes: int = 10) -> None:
+        if history_minutes < 1:
+            raise ConfigError("history_minutes must be >= 1")
+        self.history_minutes = history_minutes
+        self._history: Dict[Hashable, Deque[MinuteSample]] = {}
+
+    # ------------------------------------------------------------------
+    def record_window(
+        self,
+        minute: int,
+        out_counts: Mapping[Hashable, int],
+        in_counts: Mapping[Hashable, int],
+    ) -> None:
+        """Ingest one completed minute window's snapshots."""
+        keys = set(out_counts) | set(in_counts)
+        for key in keys:
+            sample = MinuteSample(
+                minute=minute,
+                out_queries=int(out_counts.get(key, 0)),
+                in_queries=int(in_counts.get(key, 0)),
+            )
+            dq = self._history.setdefault(key, deque(maxlen=self.history_minutes))
+            dq.append(sample)
+
+    def forget(self, neighbor: Hashable) -> None:
+        """Drop history for a departed neighbor."""
+        self._history.pop(neighbor, None)
+
+    # ------------------------------------------------------------------
+    def latest(self, neighbor: Hashable) -> Optional[MinuteSample]:
+        dq = self._history.get(neighbor)
+        return dq[-1] if dq else None
+
+    def out_query(self, neighbor: Hashable) -> int:
+        """Out_query(neighbor): queries we sent to it in the last minute."""
+        sample = self.latest(neighbor)
+        return sample.out_queries if sample else 0
+
+    def in_query(self, neighbor: Hashable) -> int:
+        """In_query(neighbor): queries it sent us in the last minute."""
+        sample = self.latest(neighbor)
+        return sample.in_queries if sample else 0
+
+    def report_pair(self, neighbor: Hashable) -> Tuple[int, int]:
+        """(Out_query, In_query) -- the last two Table 1 fields."""
+        return self.out_query(neighbor), self.in_query(neighbor)
+
+    # ------------------------------------------------------------------
+    def suspicious_neighbors(self, warning_threshold_qpm: float) -> List[Hashable]:
+        """Neighbors whose last-minute incoming count crossed the warning
+        threshold (Section 3.3 suspicion rule)."""
+        if warning_threshold_qpm <= 0:
+            raise ConfigError("warning_threshold_qpm must be positive")
+        result = []
+        for key, dq in self._history.items():
+            if dq and dq[-1].in_queries > warning_threshold_qpm:
+                result.append(key)
+        return result
+
+    def history(self, neighbor: Hashable) -> List[MinuteSample]:
+        return list(self._history.get(neighbor, ()))
+
+    def tracked_neighbors(self) -> List[Hashable]:
+        return list(self._history.keys())

@@ -1,0 +1,480 @@
+"""DD-POLICE per-peer protocol engine (message-level overlay).
+
+Wires the three protocol steps of Section 3 onto a live
+:class:`~repro.overlay.peer.Peer`:
+
+1. **Neighbor list exchanging** -- periodic (or event-driven) broadcast of
+   the local neighbor list; received lists populate the directory that
+   buddy groups are derived from; pairwise consistency is cross-checked.
+2. **Neighbor query traffic monitoring** -- each minute window's
+   In/Out_query snapshots feed the :class:`TrafficMonitor`.
+3. **Bad peer recognizing** -- a neighbor whose last-minute incoming count
+   exceeds the warning threshold opens an :class:`Investigation`;
+   Neighbor_Traffic messages are exchanged with the suspect's buddy
+   group (deduplicated over 5 s); after the collection window the General
+   and Single indicators decide against the cut threshold and the suspect
+   is disconnected with an explanatory Bye.
+
+A compromised peer runs the same engine with a non-honest
+:class:`CheatStrategy`, which distorts (or silences) only its *outgoing
+reports* -- exactly the adversary model of Section 3.4.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Set
+
+from repro.attack.cheating import CheatStrategy, apply_cheat
+from repro.core.buddy import buddy_group_of
+from repro.core.config import DDPoliceConfig, ExchangePolicy
+from repro.core.evidence import Investigation, InvestigationOutcome
+from repro.core.exchange import ConsistencyTracker, NeighborListDirectory
+from repro.core.indicators import NeighborReport
+from repro.core.monitor import TrafficMonitor
+from repro.errors import ProtocolError
+from repro.metrics.errors import Judgment, JudgmentLog
+from repro.overlay.ids import PeerId
+from repro.overlay.message import (
+    Bye,
+    Message,
+    NeighborListMessage,
+    NeighborTrafficMessage,
+    Ping,
+    Pong,
+)
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.peer import Peer
+from repro.simkit.timers import PeriodicTask
+
+
+class DDPoliceEngine:
+    """One peer's DD-POLICE instance."""
+
+    def __init__(
+        self,
+        network: OverlayNetwork,
+        peer: Peer,
+        config: DDPoliceConfig = DDPoliceConfig(),
+        *,
+        judgment_log: Optional[JudgmentLog] = None,
+        cheat_strategy: CheatStrategy = CheatStrategy.HONEST,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.network = network
+        self.peer = peer
+        self.config = config
+        self.cheat_strategy = cheat_strategy
+        self.judgments = judgment_log if judgment_log is not None else JudgmentLog()
+        self._rng = rng or random.Random(peer.id.value)
+
+        self.monitor = TrafficMonitor()
+        self.directory = NeighborListDirectory()
+        self.consistency = ConsistencyTracker(config.inconsistency_tolerance)
+        self._investigations: Dict[PeerId, Investigation] = {}
+        self._last_report_sent: Dict[PeerId, float] = {}
+
+        self.reports_sent = 0
+        self.reports_received = 0
+        self.lists_sent = 0
+        self.disconnects_issued = 0
+        self.pings_sent = 0
+        self.pongs_received = 0
+        # Liveness: directory owners we pinged and are awaiting a Pong
+        # from; two missed rounds evict the entry ("A peer pings members
+        # within the same BG periodically to make sure that other members
+        # are online", Section 3.1).
+        self._awaiting_pong: Dict[PeerId, int] = {}
+        # Rate limiter for confirmation list exchanges with non-neighbors.
+        self._list_courtesy: Dict[PeerId, float] = {}
+        self._stopped = False
+
+        peer.control_handlers.append(self._on_control)
+        peer.disconnect_listeners.append(self._on_neighbor_gone)
+        network.minute_listeners.append(self._on_minute)
+        self._liveness_task = PeriodicTask(
+            network.sim,
+            config.liveness_ping_period_s,
+            self._ping_directory,
+            jitter=min(5.0, config.liveness_ping_period_s / 10.0),
+            start_delay=self._rng.uniform(0.0, config.liveness_ping_period_s),
+            rng=self._rng,
+        )
+        self._exchange_task: Optional[PeriodicTask] = None
+        if config.exchange_policy is ExchangePolicy.PERIODIC:
+            self._exchange_task = PeriodicTask(
+                network.sim,
+                config.exchange_period_s,
+                self._broadcast_list,
+                jitter=min(5.0, config.exchange_period_s / 10.0),
+                start_delay=self._rng.uniform(0.0, config.exchange_period_s),
+                rng=self._rng,
+            )
+        else:
+            peer.connect_listeners.append(lambda _nb: self._broadcast_list())
+            peer.disconnect_listeners.append(
+                lambda _nb, _reason: self._broadcast_list()
+            )
+            # Event-driven peers still announce once at startup.
+            network.sim.schedule_in(self._rng.uniform(0.0, 5.0), self._broadcast_list)
+
+    # ------------------------------------------------------------------
+    # step 1: neighbor-list exchange
+    # ------------------------------------------------------------------
+    def _broadcast_list(self) -> None:
+        if not self.peer.online or not self.peer.neighbors:
+            return
+        msg = NeighborListMessage(
+            guid=self.network.guid_factory.new(),
+            ttl=1,
+            hops=0,
+            sender=self.peer.id,
+            neighbors=frozenset(self.peer.neighbors),
+        )
+        for nb in list(self.peer.neighbors):
+            self.peer.send_control(nb, msg)
+            self.lists_sent += 1
+
+    def _on_neighbor_list(self, src: PeerId, msg: NeighborListMessage) -> None:
+        if msg.sender is None:
+            raise ProtocolError("neighbor list without sender")
+        self.directory.update(msg.sender, set(msg.neighbors), self.network.now)
+        # "they will confirm the correctness of the lists with the
+        # corresponding peers": ask claimed peers whose list we lack (or
+        # hold only a stale copy of) to exchange lists with us (they
+        # reciprocate below).
+        for claimed in msg.neighbors:
+            if claimed == self.peer.id:
+                continue
+            age = self.directory.age(claimed, self.network.now)
+            if age is None or age > self.config.exchange_period_s:
+                self._send_list_to(claimed)
+        # A list from a peer that is not our neighbor is a confirmation
+        # request: reciprocate so the asker can cross-check.
+        if msg.sender not in self.peer.neighbors:
+            self._send_list_to(msg.sender)
+        self._check_consistency(msg.sender, set(msg.neighbors))
+
+    def _send_list_to(self, target: PeerId) -> None:
+        """Send our list directly to ``target``, at most once per period."""
+        if not self.peer.online or self._stopped:
+            return
+        now = self.network.now
+        last = self._list_courtesy.get(target)
+        if last is not None and now - last < self.config.exchange_period_s:
+            return
+        self._list_courtesy[target] = now
+        msg = NeighborListMessage(
+            guid=self.network.guid_factory.new(),
+            ttl=1,
+            hops=0,
+            sender=self.peer.id,
+            neighbors=frozenset(self.peer.neighbors),
+        )
+        self.network.transmit(self.peer.id, target, msg)
+        self.lists_sent += 1
+
+    def _check_consistency(self, owner: PeerId, claimed: Set[PeerId]) -> None:
+        """Cross-check a fresh list against lists we already hold.
+
+        "If a peer finds out that the claim of a pair of neighboring peers
+        are not consistent, it will disconnect with the one which is its
+        neighbor" -- the strike counter tolerates transient churn races,
+        and only lists fresh within ~one exchange period count as
+        evidence (a disconnected peer's fossil list must not convict its
+        ex-neighbors).
+        """
+        max_age = 1.5 * self.config.exchange_period_s
+        now = self.network.now
+
+        def fresh(snap) -> bool:
+            return snap is not None and now - snap.received_at <= max_age
+
+        for other in claimed:
+            snap = self.directory.get(other)
+            if not fresh(snap):
+                continue
+            if owner not in snap.neighbors:
+                self._strike_pair(owner, other)
+            else:
+                self.consistency.observe_consistent(owner, other)
+        # Reverse direction: peers whose stored lists claim `owner` but
+        # owner's fresh list does not reciprocate.
+        for peer in self.directory.owners():
+            if peer == owner:
+                continue
+            snap = self.directory.get(peer)
+            if not fresh(snap) or owner not in snap.neighbors:
+                continue
+            if peer not in claimed:
+                self._strike_pair(peer, owner)
+            else:
+                self.consistency.observe_consistent(peer, owner)
+
+    def _strike_pair(self, a: PeerId, b: PeerId) -> None:
+        if self.consistency.strike(a, b):
+            # "it will disconnect with the one which is its neighbor"
+            for candidate in (a, b):
+                if candidate in self.peer.neighbors:
+                    self._disconnect(
+                        candidate,
+                        reason="inconsistent_list",
+                        g=float("nan"),
+                        s=float("nan"),
+                        bye_code=Bye.REASON_LIST_INCONSISTENT,
+                    )
+            self.consistency.clear(a, b)
+
+    # ------------------------------------------------------------------
+    # buddy-group liveness (Section 3.1)
+    # ------------------------------------------------------------------
+    def _ping_directory(self) -> None:
+        """Ping every peer we hold a neighbor list for; evict the stale.
+
+        Members that missed the previous round's Pong are forgotten, so
+        buddy groups stop counting long-gone peers as silent (0,0)
+        witnesses forever.
+        """
+        if not self.peer.online:
+            return
+        for owner in list(self.directory.owners()):
+            missed = self._awaiting_pong.get(owner, 0)
+            if missed >= 2:
+                self.directory.forget(owner)
+                self._awaiting_pong.pop(owner, None)
+                continue
+            self._awaiting_pong[owner] = missed + 1
+            ping = Ping(guid=self.network.guid_factory.new(), ttl=1)
+            # BG members need not be direct neighbors; ping them directly.
+            self.network.transmit(self.peer.id, owner, ping)
+            self.pings_sent += 1
+
+    def _on_pong(self, src: PeerId) -> None:
+        self.pongs_received += 1
+        self._awaiting_pong.pop(src, None)
+
+    # ------------------------------------------------------------------
+    # step 2: traffic monitoring
+    # ------------------------------------------------------------------
+    def _on_minute(self, minute: int, now: float) -> None:
+        if not self.peer.online:
+            return
+        self.monitor.record_window(
+            minute, self.peer.last_minute_out, self.peer.last_minute_in
+        )
+        for suspect in self.monitor.suspicious_neighbors(
+            self.config.warning_threshold_qpm
+        ):
+            if suspect in self.peer.neighbors:
+                self._open_investigation(suspect)
+
+    # ------------------------------------------------------------------
+    # step 3: bad-peer recognition
+    # ------------------------------------------------------------------
+    def _open_investigation(self, suspect: PeerId) -> None:
+        if suspect in self._investigations:
+            return  # already collecting evidence
+        group = buddy_group_of(
+            suspect,
+            lambda p: self.directory.known_neighbors(p),
+            radius=self.config.radius,
+            now=self.network.now,
+        )
+        members = set(group.members)
+        members.add(self.peer.id)  # we are a neighbor of the suspect
+        members.discard(suspect)
+        expected = frozenset(members - {self.peer.id})
+        own_out, own_in = self.monitor.report_pair(suspect)
+        inv = Investigation(
+            observer=self.peer.id,
+            suspect=suspect,
+            started_at=self.network.now,
+            expected_members=expected,
+            own_out_to_suspect=own_out,
+            own_in_from_suspect=own_in,
+        )
+        self._investigations[suspect] = inv
+        self._send_reports(suspect, expected)
+        self.network.sim.schedule_in(
+            self.config.collection_window_s, self._conclude, suspect
+        )
+
+    def _send_reports(self, suspect: PeerId, members: Set[PeerId]) -> None:
+        """Send our Neighbor_Traffic numbers to the other BG members."""
+        now = self.network.now
+        last = self._last_report_sent.get(suspect)
+        if last is not None and now - last < self.config.report_dedup_window_s:
+            return
+        self._last_report_sent[suspect] = now
+        out_q, in_q = self.monitor.report_pair(suspect)
+        reported = apply_cheat(self.cheat_strategy, out_q, in_q)
+        if reported is None:
+            return  # SILENT: refuse to report
+        rep_out, rep_in = reported
+        for member in members:
+            msg = NeighborTrafficMessage(
+                guid=self.network.guid_factory.new(),
+                ttl=1,
+                hops=0,
+                source=self.peer.id,
+                suspect=suspect,
+                timestamp=int(now),
+                outgoing_queries=rep_out,
+                incoming_queries=rep_in,
+            )
+            self.peer.send_control(member, msg)
+            self.reports_sent += 1
+
+    def _on_neighbor_traffic(self, src: PeerId, msg: NeighborTrafficMessage) -> None:
+        if msg.suspect is None or msg.source is None:
+            raise ProtocolError("Neighbor_Traffic missing source/suspect")
+        self.reports_received += 1
+        suspect = msg.suspect
+        if suspect == self.peer.id:
+            return  # gossip about ourselves; nothing to do
+        if suspect not in self.peer.neighbors:
+            # No longer (or not yet) in this buddy group, but the question
+            # is about the *last minute*: answer the group from our
+            # retained counters so a just-closed connection still counts.
+            out_q, in_q = self.monitor.report_pair(suspect)
+            if out_q or in_q:
+                members = set(self.directory.known_neighbors(suspect))
+                members.add(msg.source)
+                members.discard(self.peer.id)
+                members.discard(suspect)
+                self._send_reports(suspect, members)
+            return
+        inv = self._investigations.get(suspect)
+        if inv is None:
+            # A buddy noticed before we did: join the investigation.
+            self._open_investigation(suspect)
+            inv = self._investigations.get(suspect)
+            if inv is None:
+                return
+        inv.add_report(
+            msg.source,
+            NeighborReport(
+                member=msg.source.value,
+                outgoing=msg.outgoing_queries,
+                incoming=msg.incoming_queries,
+            ),
+        )
+        # "it will check whether it has sent a Neighbor_Traffic message to
+        # other members in this BG in past 5 seconds. If not, it will send
+        # such a message" -- handled by the dedup window in _send_reports.
+        self._send_reports(suspect, set(inv.expected_members))
+        if inv.complete:
+            self._conclude(suspect)
+
+    def _conclude(self, suspect: PeerId) -> None:
+        inv = self._investigations.get(suspect)
+        if inv is None or inv.outcome is not InvestigationOutcome.PENDING:
+            return
+        outcome = inv.decide(self.config)
+        g, s = inv.indicator_pair()
+        disconnected = outcome is InvestigationOutcome.CONVICTED
+        if disconnected and suspect in self.peer.neighbors:
+            self._disconnect(suspect, reason="ddos", g=g, s=s)
+        else:
+            self.judgments.record(
+                Judgment(
+                    time=self.network.now,
+                    observer=self.peer.id,
+                    suspect=suspect,
+                    g_value=g,
+                    s_value=s,
+                    disconnected=False,
+                )
+            )
+        # _disconnect may already have evicted the entry via the
+        # neighbor-gone listener.
+        self._investigations.pop(suspect, None)
+
+    def _disconnect(
+        self,
+        suspect: PeerId,
+        *,
+        reason: str,
+        g: float,
+        s: float,
+        bye_code: int = Bye.REASON_DDOS_SUSPECT,
+    ) -> None:
+        self.disconnects_issued += 1
+        self.judgments.record(
+            Judgment(
+                time=self.network.now,
+                observer=self.peer.id,
+                suspect=suspect,
+                g_value=g,
+                s_value=s,
+                disconnected=True,
+                reason=reason,
+            )
+        )
+        bye = Bye(
+            guid=self.network.guid_factory.new(),
+            ttl=1,
+            hops=0,
+            reason_code=bye_code,
+            reason_text=reason,
+        )
+        try:
+            self.peer.send_control(suspect, bye)
+        except ProtocolError:
+            pass  # already gone
+        self.network.disconnect(self.peer.id, suspect, reason_code=bye_code)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _on_control(self, src: PeerId, msg: Message) -> None:
+        if isinstance(msg, NeighborListMessage):
+            self._on_neighbor_list(src, msg)
+        elif isinstance(msg, NeighborTrafficMessage):
+            self._on_neighbor_traffic(src, msg)
+        elif isinstance(msg, Pong):
+            self._on_pong(msg.responder if msg.responder is not None else src)
+        # Bye needs no protocol action here.
+
+    def _on_neighbor_gone(self, neighbor: PeerId, reason_code: int) -> None:
+        # Keep the monitor history: it is still valid evidence about the
+        # just-ended minute, and buddy groups may ask for it right after a
+        # disconnection race. The bounded history ages it out naturally.
+        self._investigations.pop(neighbor, None)
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._exchange_task is not None:
+            self._exchange_task.stop()
+        self._liveness_task.stop()
+
+
+def deploy_ddpolice(
+    network: OverlayNetwork,
+    config: DDPoliceConfig = DDPoliceConfig(),
+    *,
+    bad_peers: Optional[Set[PeerId]] = None,
+    bad_strategy: CheatStrategy = CheatStrategy.SILENT,
+    rng: Optional[random.Random] = None,
+) -> Dict[PeerId, DDPoliceEngine]:
+    """Attach a DD-POLICE engine to every peer in the network.
+
+    Good peers report honestly; peers in ``bad_peers`` use
+    ``bad_strategy``. All engines share one :class:`JudgmentLog`
+    (accessible on any engine as ``.judgments``).
+    """
+    bad_peers = bad_peers or set()
+    log = JudgmentLog()
+    rng = rng or random.Random(0)
+    engines: Dict[PeerId, DDPoliceEngine] = {}
+    for pid, peer in network.peers.items():
+        strategy = bad_strategy if pid in bad_peers else CheatStrategy.HONEST
+        engines[pid] = DDPoliceEngine(
+            network,
+            peer,
+            config,
+            judgment_log=log,
+            cheat_strategy=strategy,
+            rng=random.Random(rng.getrandbits(32)),
+        )
+    return engines

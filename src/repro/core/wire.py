@@ -1,0 +1,189 @@
+"""Binary wire format: Gnutella 0.6 header and DD-POLICE bodies.
+
+Gnutella 0.6 unified message header (23 bytes)::
+
+    offset  0: Message GUID        (16 bytes)
+    offset 16: Payload descriptor  (1 byte)   -- 0x83 for Neighbor_Traffic
+    offset 17: TTL                 (1 byte)
+    offset 18: Hops                (1 byte)
+    offset 19: Payload length      (4 bytes, little-endian per the spec)
+
+Neighbor_Traffic body (Table 1, 20 bytes)::
+
+    offset  0: Source IP Address      (4 bytes)
+    offset  4: Suspect IP Address     (4 bytes)
+    offset  8: Source timestamp       (4 bytes, seconds, big-endian)
+    offset 12: # of Outgoing queries  (4 bytes, big-endian)
+    offset 16: # of Incoming queries  (4 bytes, big-endian)
+
+Neighbor-list body (payload 0x82): count (2 bytes) then count * 4-byte
+addresses.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from repro.errors import WireFormatError
+from repro.overlay.ids import Guid, PeerId
+from repro.overlay.message import (
+    MessageKind,
+    NeighborListMessage,
+    NeighborTrafficMessage,
+)
+
+HEADER_SIZE = 23
+NEIGHBOR_TRAFFIC_BODY_SIZE = 20
+_HEADER_STRUCT = struct.Struct("<16sBBBI")  # GUID, kind, ttl, hops, length
+_TRAFFIC_BODY_STRUCT = struct.Struct(">4s4sIII")
+
+
+@dataclass(frozen=True)
+class GnutellaHeader:
+    """Parsed 23-byte Gnutella message header."""
+
+    guid: Guid
+    kind: MessageKind
+    ttl: int
+    hops: int
+    payload_length: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.ttl <= 255):
+            raise WireFormatError(f"ttl out of byte range: {self.ttl}")
+        if not (0 <= self.hops <= 255):
+            raise WireFormatError(f"hops out of byte range: {self.hops}")
+        if self.payload_length < 0:
+            raise WireFormatError("payload_length must be non-negative")
+
+    def encode(self) -> bytes:
+        return _HEADER_STRUCT.pack(
+            self.guid.raw, self.kind.value, self.ttl, self.hops, self.payload_length
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "GnutellaHeader":
+        if len(raw) < HEADER_SIZE:
+            raise WireFormatError(
+                f"header needs {HEADER_SIZE} bytes, got {len(raw)}"
+            )
+        guid_raw, kind_val, ttl, hops, length = _HEADER_STRUCT.unpack(raw[:HEADER_SIZE])
+        try:
+            kind = MessageKind(kind_val)
+        except ValueError as exc:
+            raise WireFormatError(f"unknown payload descriptor 0x{kind_val:02x}") from exc
+        return cls(Guid(guid_raw), kind, ttl, hops, length)
+
+
+# ---------------------------------------------------------------------------
+# Neighbor_Traffic (Table 1)
+# ---------------------------------------------------------------------------
+
+def encode_neighbor_traffic(msg: NeighborTrafficMessage) -> bytes:
+    """Serialize header + Table 1 body (43 bytes total)."""
+    if msg.source is None or msg.suspect is None:
+        raise WireFormatError("Neighbor_Traffic requires source and suspect")
+    if msg.timestamp < 0 or msg.outgoing_queries < 0 or msg.incoming_queries < 0:
+        raise WireFormatError("Neighbor_Traffic fields must be non-negative")
+    if msg.timestamp > 0xFFFFFFFF:
+        raise WireFormatError("timestamp exceeds 32 bits")
+    if msg.outgoing_queries > 0xFFFFFFFF or msg.incoming_queries > 0xFFFFFFFF:
+        raise WireFormatError("query counts exceed 32 bits")
+    header = GnutellaHeader(
+        guid=msg.guid,
+        kind=MessageKind.NEIGHBOR_TRAFFIC,
+        ttl=msg.ttl,
+        hops=msg.hops,
+        payload_length=NEIGHBOR_TRAFFIC_BODY_SIZE,
+    )
+    body = _TRAFFIC_BODY_STRUCT.pack(
+        msg.source.ipv4_bytes(),
+        msg.suspect.ipv4_bytes(),
+        msg.timestamp,
+        msg.outgoing_queries,
+        msg.incoming_queries,
+    )
+    return header.encode() + body
+
+
+def decode_neighbor_traffic(raw: bytes) -> NeighborTrafficMessage:
+    """Parse header + body back into a message object."""
+    header = GnutellaHeader.decode(raw)
+    if header.kind is not MessageKind.NEIGHBOR_TRAFFIC:
+        raise WireFormatError(f"expected Neighbor_Traffic, got {header.kind}")
+    if header.payload_length != NEIGHBOR_TRAFFIC_BODY_SIZE:
+        raise WireFormatError(
+            f"Neighbor_Traffic body must be {NEIGHBOR_TRAFFIC_BODY_SIZE} bytes, "
+            f"header says {header.payload_length}"
+        )
+    body = raw[HEADER_SIZE:]
+    if len(body) < NEIGHBOR_TRAFFIC_BODY_SIZE:
+        raise WireFormatError(f"truncated body: {len(body)} bytes")
+    src_raw, sus_raw, ts, out_q, in_q = _TRAFFIC_BODY_STRUCT.unpack(
+        body[:NEIGHBOR_TRAFFIC_BODY_SIZE]
+    )
+    return NeighborTrafficMessage(
+        guid=header.guid,
+        ttl=header.ttl,
+        hops=header.hops,
+        source=PeerId.from_ipv4_bytes(src_raw),
+        suspect=PeerId.from_ipv4_bytes(sus_raw),
+        timestamp=ts,
+        outgoing_queries=out_q,
+        incoming_queries=in_q,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Neighbor-list exchange (payload 0x82)
+# ---------------------------------------------------------------------------
+
+def encode_neighbor_list(msg: NeighborListMessage) -> bytes:
+    """Serialize header + [sender, count, addresses...]."""
+    if msg.sender is None:
+        raise WireFormatError("neighbor list requires a sender")
+    if len(msg.neighbors) > 0xFFFF:
+        raise WireFormatError("too many neighbors for the 2-byte count")
+    body = msg.sender.ipv4_bytes() + struct.pack(">H", len(msg.neighbors))
+    for pid in sorted(msg.neighbors, key=lambda p: p.value):
+        body += pid.ipv4_bytes()
+    header = GnutellaHeader(
+        guid=msg.guid,
+        kind=MessageKind.NEIGHBOR_LIST,
+        ttl=msg.ttl,
+        hops=msg.hops,
+        payload_length=len(body),
+    )
+    return header.encode() + body
+
+
+def decode_neighbor_list(raw: bytes) -> NeighborListMessage:
+    """Parse header + neighbor-list body back into a message object."""
+    header = GnutellaHeader.decode(raw)
+    if header.kind is not MessageKind.NEIGHBOR_LIST:
+        raise WireFormatError(f"expected NeighborList, got {header.kind}")
+    body = raw[HEADER_SIZE:]
+    if len(body) != header.payload_length:
+        raise WireFormatError(
+            f"body length {len(body)} != header payload_length {header.payload_length}"
+        )
+    if len(body) < 6:
+        raise WireFormatError("neighbor-list body too short")
+    sender = PeerId.from_ipv4_bytes(body[:4])
+    (count,) = struct.unpack(">H", body[4:6])
+    expected = 6 + 4 * count
+    if len(body) != expected:
+        raise WireFormatError(
+            f"neighbor-list body length {len(body)} != expected {expected}"
+        )
+    neighbors = []
+    for i in range(count):
+        off = 6 + 4 * i
+        neighbors.append(PeerId.from_ipv4_bytes(body[off : off + 4]))
+    return NeighborListMessage(
+        guid=header.guid,
+        ttl=header.ttl,
+        hops=header.hops,
+        sender=sender,
+        neighbors=frozenset(neighbors),
+    )

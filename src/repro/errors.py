@@ -1,0 +1,23 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigError(ReproError, ValueError):
+    """Invalid configuration value or inconsistent parameter combination."""
+
+
+class ProtocolError(ReproError):
+    """Violation of the overlay or DD-POLICE protocol state machine."""
+
+
+class WireFormatError(ReproError, ValueError):
+    """Malformed on-the-wire message bytes."""
+
+
+class TopologyError(ReproError, ValueError):
+    """Infeasible or inconsistent topology request."""

@@ -1,0 +1,41 @@
+"""Experiment harness: per-figure reproductions and the DES runner.
+
+Every table/figure in the paper's evaluation has a function here that
+regenerates its rows/series (see DESIGN.md section 2 for the index);
+the ``benchmarks/`` tree wraps these in pytest-benchmark targets and
+prints the same rows the paper reports.
+"""
+
+from repro.experiments.runner import DESConfig, DESRun, run_des_experiment
+from repro.experiments.scenarios import Scale, bench_scale, paper_scale, active_scale
+from repro.experiments.reporting import (
+    render_table,
+    render_series,
+    render_timelines,
+    sparkline,
+)
+from repro.experiments.io import load_records, load_rows, save_records, save_rows
+from repro.experiments.sweeps import SweepPoint, run_point, sweep
+from repro.experiments import figures
+
+__all__ = [
+    "DESConfig",
+    "DESRun",
+    "run_des_experiment",
+    "Scale",
+    "bench_scale",
+    "paper_scale",
+    "active_scale",
+    "render_table",
+    "render_series",
+    "render_timelines",
+    "sparkline",
+    "load_records",
+    "load_rows",
+    "save_records",
+    "save_rows",
+    "SweepPoint",
+    "run_point",
+    "sweep",
+    "figures",
+]

@@ -1,0 +1,71 @@
+"""Persistence of experiment results (JSON).
+
+Long sweeps are expensive; this module saves/loads their outputs so
+analysis and re-rendering never require re-simulation:
+
+* :func:`save_rows` / :func:`load_rows` -- per-minute
+  :class:`~repro.fluid.model.MinuteRow` series;
+* :func:`save_records` / :func:`load_records` -- any list of flat
+  dataclass records (the figure functions' row types).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Type, TypeVar, Union
+
+from repro.errors import ConfigError
+from repro.fluid.model import MinuteRow
+
+T = TypeVar("T")
+
+_FORMAT_VERSION = 1
+
+
+def _to_jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _to_jsonable(v) for k, v in value.items()}
+    raise ConfigError(f"cannot serialize value of type {type(value).__name__}")
+
+
+def save_records(
+    path: Union[str, Path], records: Sequence[Any], *, kind: str
+) -> Path:
+    """Write a list of flat dataclass instances as JSON."""
+    rows: List[Dict[str, Any]] = []
+    for rec in records:
+        if not dataclasses.is_dataclass(rec):
+            raise ConfigError(f"record {rec!r} is not a dataclass")
+        rows.append(_to_jsonable(dataclasses.asdict(rec)))
+    payload = {"format": _FORMAT_VERSION, "kind": kind, "records": rows}
+    out = Path(path)
+    out.write_text(json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8")
+    return out
+
+
+def load_records(path: Union[str, Path], cls: Type[T], *, kind: str) -> List[T]:
+    """Read records saved by :func:`save_records` back into ``cls``."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("format") != _FORMAT_VERSION:
+        raise ConfigError(f"unsupported results format {payload.get('format')!r}")
+    if payload.get("kind") != kind:
+        raise ConfigError(
+            f"file holds {payload.get('kind')!r} records, expected {kind!r}"
+        )
+    return [cls(**rec) for rec in payload["records"]]
+
+
+def save_rows(path: Union[str, Path], rows: Sequence[MinuteRow]) -> Path:
+    """Persist a fluid run's per-minute rows."""
+    return save_records(path, rows, kind="minute-rows")
+
+
+def load_rows(path: Union[str, Path]) -> List[MinuteRow]:
+    """Load per-minute rows saved by :func:`save_rows`."""
+    return load_records(path, MinuteRow, kind="minute-rows")

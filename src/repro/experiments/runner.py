@@ -1,0 +1,167 @@
+"""Message-level (DES) experiment runner.
+
+Small-scale end-to-end runs of the full protocol stack: real messages,
+real Neighbor_Traffic exchanges, churn, attack agents, and a pluggable
+defense. Used by the integration tests, the examples, and the
+fluid-vs-DES cross-validation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro.attack.cheating import CheatStrategy
+from repro.attack.scenario import AttackScenario, ScenarioConfig
+from repro.baselines.naive import NaiveCutoffConfig, deploy_naive
+from repro.churn.process import ChurnConfig, ChurnProcess
+from repro.core.config import DDPoliceConfig
+from repro.core.police import deploy_ddpolice
+from repro.errors import ConfigError
+from repro.metrics.collectors import MetricsCollector
+from repro.metrics.errors import ErrorCounts, JudgmentLog
+from repro.overlay.content import ContentCatalog, ContentConfig
+from repro.overlay.ids import PeerId
+from repro.overlay.network import NetworkConfig, OverlayNetwork
+from repro.overlay.topology import TopologyConfig, generate_topology
+from repro.simkit.engine import Simulator
+from repro.simkit.rng import RngRegistry
+from repro.workload.generator import QueryWorkload, WorkloadConfig
+
+
+@dataclass(frozen=True)
+class DESConfig:
+    """Configuration of one message-level run."""
+
+    n: int = 100
+    duration_s: float = 600.0
+    seed: int = 0
+    topology: Optional[TopologyConfig] = None
+    network: NetworkConfig = NetworkConfig()
+    content: ContentConfig = ContentConfig(num_objects=100)
+    workload: WorkloadConfig = WorkloadConfig()
+    churn: ChurnConfig = ChurnConfig(enabled=False)
+    #: Attack: 0 agents = clean run. Rates here are usually scaled down
+    #: (DES is for small N, so keep ratios, not absolutes).
+    num_agents: int = 0
+    attack_start_s: float = 0.0
+    attack_rate_qpm: float = 2000.0
+    cheat_strategy: CheatStrategy = CheatStrategy.SILENT
+    #: Defense: "none" | "ddpolice" | "naive".
+    defense: str = "none"
+    police: DDPoliceConfig = DDPoliceConfig()
+    naive_cutoff_qpm: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ConfigError("n must be >= 2")
+        if self.duration_s <= 0:
+            raise ConfigError("duration_s must be positive")
+        if not (0 <= self.num_agents <= self.n):
+            raise ConfigError("num_agents out of range")
+        if self.defense not in ("none", "ddpolice", "naive"):
+            raise ConfigError(f"unknown defense {self.defense!r}")
+
+
+@dataclass
+class DESRun:
+    """A finished run with everything inspectable."""
+
+    config: DESConfig
+    sim: Simulator
+    network: OverlayNetwork
+    collector: MetricsCollector
+    churn: Optional[ChurnProcess]
+    scenario: Optional[AttackScenario]
+    judgments: Optional[JudgmentLog]
+    bad_peers: Set[PeerId] = field(default_factory=set)
+
+    @property
+    def success_rate(self) -> float:
+        return self.network.success_rate()
+
+    @property
+    def mean_response_time(self) -> Optional[float]:
+        return self.network.mean_response_time()
+
+    @property
+    def total_messages(self) -> int:
+        return self.network.stats.messages_delivered
+
+    def error_counts(self) -> ErrorCounts:
+        if self.judgments is None:
+            raise ConfigError("run had no defense; no judgments recorded")
+        return self.judgments.error_counts(set(self.bad_peers))
+
+
+def run_des_experiment(config: DESConfig) -> DESRun:
+    """Build and run one message-level experiment end to end."""
+    rngs = RngRegistry(config.seed)
+    sim = Simulator()
+    topo_cfg = config.topology or TopologyConfig(n=config.n, seed=config.seed)
+    if topo_cfg.n != config.n:
+        raise ConfigError("topology n must match config n")
+    topo = generate_topology(topo_cfg)
+    content = ContentCatalog(config.content, config.n)
+    network = OverlayNetwork(
+        sim, topo, config=config.network, content=content, rng_registry=rngs
+    )
+    collector = MetricsCollector(network)
+
+    churn: Optional[ChurnProcess] = None
+    if config.churn.enabled:
+        churn = ChurnProcess(
+            sim, network, config.churn, rng=rngs.stream("churn")
+        )
+
+    scenario: Optional[AttackScenario] = None
+    bad_peers: Set[PeerId] = set()
+    if config.num_agents > 0:
+        scenario = AttackScenario(
+            sim,
+            network,
+            ScenarioConfig(
+                num_agents=config.num_agents,
+                start_time_s=config.attack_start_s,
+                nominal_rate_qpm=config.attack_rate_qpm,
+                cheat_strategy=config.cheat_strategy,
+                seed=config.seed,
+            ),
+            rng=rngs.stream("attack"),
+        )
+        bad_peers = set(scenario.compromised)
+
+    judgments: Optional[JudgmentLog] = None
+    if config.defense == "ddpolice":
+        engines = deploy_ddpolice(
+            network,
+            config.police,
+            bad_peers=bad_peers,
+            bad_strategy=config.cheat_strategy,
+            rng=rngs.stream("police"),
+        )
+        judgments = next(iter(engines.values())).judgments if engines else None
+    elif config.defense == "naive":
+        defenses = deploy_naive(network, NaiveCutoffConfig(config.naive_cutoff_qpm))
+        judgments = next(iter(defenses.values())).judgments if defenses else None
+
+    workload = QueryWorkload(
+        sim, network, config.workload, rng=rngs.stream("workload"), exclude=set()
+    )
+    workload.start()
+    if churn is not None:
+        churn.start()
+    if scenario is not None:
+        scenario.launch()
+
+    sim.run(until=config.duration_s)
+    return DESRun(
+        config=config,
+        sim=sim,
+        network=network,
+        collector=collector,
+        churn=churn,
+        scenario=scenario,
+        judgments=judgments,
+        bad_peers=bad_peers,
+    )

@@ -1,0 +1,85 @@
+"""Experiment scales: paper-faithful vs laptop-friendly.
+
+The paper simulates 20,000 peers with 10..200 DDoS agents
+(0.05%..1% of the population) and 1,000,000 search operations. The bench
+default scales the population down 10x while preserving every *density*:
+agents/peer, queries/peer/minute, attack rate, capacities, churn rates.
+Set ``REPRO_SCALE=paper`` to run full scale.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigError
+
+#: Agent fractions matching the paper's 10..200 agents over 20,000 peers.
+PAPER_AGENT_FRACTIONS: Tuple[float, ...] = (
+    0.0005,  # 10 agents @ 20k
+    0.001,   # 20
+    0.0025,  # 50
+    0.005,   # 100
+    0.01,    # 200
+)
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One experiment scale."""
+
+    name: str
+    n_peers: int
+    sim_minutes: int
+    attack_start_min: int
+    trials: int
+
+    def __post_init__(self) -> None:
+        if self.n_peers < 100:
+            raise ConfigError("n_peers must be >= 100")
+        if self.sim_minutes <= self.attack_start_min:
+            raise ConfigError("sim_minutes must exceed attack_start_min")
+        if self.trials < 1:
+            raise ConfigError("trials must be >= 1")
+
+    def agent_counts(self) -> List[int]:
+        """Agent counts realizing the paper's densities at this scale."""
+        return [max(1, round(f * self.n_peers)) for f in PAPER_AGENT_FRACTIONS]
+
+    def paper_equivalent_agents(self, agents: int) -> int:
+        """The agent count the paper would use for the same density."""
+        return round(agents / self.n_peers * 20_000)
+
+
+def paper_scale() -> Scale:
+    """Full paper scale (20,000 peers)."""
+    return Scale(
+        name="paper", n_peers=20_000, sim_minutes=40, attack_start_min=10, trials=1
+    )
+
+
+def bench_scale() -> Scale:
+    """Default laptop scale: 10x smaller population, same densities."""
+    return Scale(
+        name="bench", n_peers=2_000, sim_minutes=30, attack_start_min=8, trials=1
+    )
+
+
+def smoke_scale() -> Scale:
+    """Tiny scale for tests."""
+    return Scale(
+        name="smoke", n_peers=300, sim_minutes=12, attack_start_min=4, trials=1
+    )
+
+
+def active_scale() -> Scale:
+    """Scale selected by the REPRO_SCALE environment variable."""
+    name = os.environ.get("REPRO_SCALE", "bench").lower()
+    if name == "paper":
+        return paper_scale()
+    if name == "smoke":
+        return smoke_scale()
+    if name == "bench":
+        return bench_scale()
+    raise ConfigError(f"unknown REPRO_SCALE {name!r} (bench|paper|smoke)")

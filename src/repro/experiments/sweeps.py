@@ -1,0 +1,141 @@
+"""Generic parameter-sweep utilities with multi-trial aggregation.
+
+The figure functions in :mod:`repro.experiments.figures` are specialized;
+this module provides the general tool a downstream user wants: sweep any
+:class:`FluidConfig` field(s) over a grid, run ``trials`` independent
+seeds per point, and aggregate any row metric.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.fluid.model import FluidConfig, FluidSimulation
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point's aggregated results."""
+
+    overrides: Mapping[str, Any]
+    metrics: Mapping[str, float]
+    stddevs: Mapping[str, float]
+    trials: int
+
+    def __getitem__(self, metric: str) -> float:
+        return self.metrics[metric]
+
+
+def _aggregate(values: Sequence[float]) -> Tuple[float, float]:
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return mean, 0.0
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, math.sqrt(var)
+
+
+def run_point(
+    base: FluidConfig,
+    overrides: Mapping[str, Any],
+    *,
+    minutes: int,
+    metrics: Mapping[str, Callable[[FluidSimulation], float]],
+    trials: int = 1,
+    seed0: int = 0,
+) -> SweepPoint:
+    """Run one configuration ``trials`` times and aggregate metrics.
+
+    ``metrics`` maps a name to an extractor over the finished simulation
+    (e.g. ``lambda sim: sim.mean_over(10, "success_rate")``).
+    """
+    if trials < 1:
+        raise ConfigError("trials must be >= 1")
+    if not metrics:
+        raise ConfigError("at least one metric extractor required")
+    samples: Dict[str, List[float]] = {name: [] for name in metrics}
+    for trial in range(trials):
+        cfg = replace(base, seed=seed0 + 1000 * trial, **dict(overrides))
+        sim = FluidSimulation(cfg)
+        sim.run(minutes)
+        for name, extractor in metrics.items():
+            samples[name].append(float(extractor(sim)))
+    agg = {name: _aggregate(vals) for name, vals in samples.items()}
+    return SweepPoint(
+        overrides=dict(overrides),
+        metrics={name: a[0] for name, a in agg.items()},
+        stddevs={name: a[1] for name, a in agg.items()},
+        trials=trials,
+    )
+
+
+def sweep(
+    base: FluidConfig,
+    grid: Mapping[str, Sequence[Any]],
+    *,
+    minutes: int,
+    metrics: Mapping[str, Callable[[FluidSimulation], float]],
+    trials: int = 1,
+    seed0: int = 0,
+) -> List[SweepPoint]:
+    """Full-factorial sweep over ``grid`` (cartesian product of values).
+
+    >>> from repro.fluid.model import FluidConfig
+    >>> pts = sweep(
+    ...     FluidConfig(n=300, churn_warmup_min=2),
+    ...     {"num_agents": [0, 2]},
+    ...     minutes=4,
+    ...     metrics={"succ": lambda s: s.rows[-1].success_rate},
+    ... )
+    >>> len(pts)
+    2
+    """
+    if not grid:
+        raise ConfigError("empty sweep grid")
+    names = sorted(grid)
+    for name in names:
+        if not grid[name]:
+            raise ConfigError(f"no values for swept field {name!r}")
+
+    def product(idx: int, acc: Dict[str, Any], out: List[Dict[str, Any]]) -> None:
+        if idx == len(names):
+            out.append(dict(acc))
+            return
+        for value in grid[names[idx]]:
+            acc[names[idx]] = value
+            product(idx + 1, acc, out)
+        acc.pop(names[idx], None)
+
+    combos: List[Dict[str, Any]] = []
+    product(0, {}, combos)
+    return [
+        run_point(
+            base, combo, minutes=minutes, metrics=metrics, trials=trials, seed0=seed0
+        )
+        for combo in combos
+    ]
+
+
+# Common extractors -----------------------------------------------------
+
+def steady_success(first_minute: int) -> Callable[[FluidSimulation], float]:
+    """Mean success rate from ``first_minute`` on."""
+    return lambda sim: sim.mean_over(first_minute, "success_rate")
+
+
+def steady_traffic_k(first_minute: int) -> Callable[[FluidSimulation], float]:
+    """Mean traffic (thousands of messages/min) from ``first_minute`` on."""
+    return lambda sim: sim.mean_over(first_minute, "traffic_cost_kqpm")
+
+
+def final_false_negative(sim: FluidSimulation) -> float:
+    """Good peers wrongly disconnected over the whole run."""
+    return float(sim.error_counts().false_negative)
+
+
+def final_false_positive(sim: FluidSimulation) -> float:
+    """Bad peers never identified over the whole run."""
+    return float(sim.error_counts().false_positive)

@@ -1,0 +1,41 @@
+"""Fluid-flow large-scale engine.
+
+Per-message DES at the paper's scale (20,000 peers x 10^6 queries) is
+~10^10 events -- intractable in pure Python. DD-POLICE, however, consumes
+only *per-minute per-directed-edge query counts* (Out_query/In_query), so
+the large-scale experiments run on a fluid model that computes exactly
+those quantities: each minute, query *rates* are propagated hop-by-hop
+over the edge set (vectorized numpy), with
+
+* GUID-duplicate suppression approximated by a per-hop novelty factor
+  derived from the graph's branching structure (:mod:`coverage`),
+* capacity-driven drops via a damped fixed point on per-node processed
+  fractions (:mod:`flows`),
+* churn, attack injection, DD-POLICE detection, and service-quality
+  metrics layered on top (:mod:`graphstate`, :mod:`police`,
+  :mod:`model`).
+
+The message-level engine cross-validates the fluid model at small N
+(``benchmarks/bench_ablation_fluid_vs_des.py``).
+"""
+
+from repro.fluid.coverage import novelty_schedule, expected_coverage
+from repro.fluid.flows import FlowResult, propagate_flows, build_edge_arrays
+from repro.fluid.graphstate import GraphState, FluidChurnConfig
+from repro.fluid.police import FluidPolice, FluidPoliceStats
+from repro.fluid.model import FluidConfig, FluidSimulation, MinuteRow
+
+__all__ = [
+    "novelty_schedule",
+    "expected_coverage",
+    "FlowResult",
+    "propagate_flows",
+    "build_edge_arrays",
+    "GraphState",
+    "FluidChurnConfig",
+    "FluidPolice",
+    "FluidPoliceStats",
+    "FluidConfig",
+    "FluidSimulation",
+    "MinuteRow",
+]

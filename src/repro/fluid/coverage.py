@@ -1,0 +1,98 @@
+"""Flood-coverage and duplicate-novelty approximation.
+
+A flooded query's copies collide: once a peer has seen a GUID, further
+copies are dropped. In the fluid model we need, per hop h, the expected
+probability ``sigma_h`` that a copy arriving h hops from the source is
+*novel*. We use the standard branching-process approximation on a random
+graph with the observed degree sequence:
+
+* ``new_1 = mean degree`` nodes are reached at hop 1 (all novel);
+* each newly reached node exposes ``d_ex = E[d(d-1)] / E[d]`` further
+  edges on average (mean excess degree);
+* saturation: a candidate at hop h is novel with probability
+  ``1 - M_{h-1} / n`` where ``M_{h-1}`` is the expected coverage so far.
+
+Recurrence (h >= 2)::
+
+    sigma_h = 1 - M_{h-1} / n
+    new_h   = new_{h-1} * d_ex * sigma_h
+    M_h     = min(n, M_{h-1} + new_h)
+
+with ``M_0 = 1``, ``sigma_1 = 1``, ``M_1 = min(n, 1 + new_1)``.
+
+The schedule attenuates forwarded flow in :mod:`repro.fluid.flows`; the
+coverage curve drives success-rate and response-time estimates in
+:mod:`repro.fluid.model`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def degree_moments(degrees: Sequence[int]) -> Tuple[float, float]:
+    """(mean degree, mean excess degree) from a degree sequence."""
+    d = np.asarray(degrees, dtype=float)
+    if d.size == 0:
+        raise ConfigError("empty degree sequence")
+    mean = float(d.mean())
+    if mean <= 0:
+        return 0.0, 0.0
+    excess = float((d * (d - 1.0)).sum() / d.sum())
+    return mean, excess
+
+
+def _schedule(
+    degrees: Sequence[int], ttl: int, n: int
+) -> Tuple[np.ndarray, List[float]]:
+    """Shared recurrence: returns (sigma[0..ttl], M[0..ttl])."""
+    if ttl < 1:
+        raise ConfigError(f"ttl must be >= 1, got {ttl}")
+    n_nodes = n if n > 0 else len(degrees)
+    if n_nodes < 1:
+        raise ConfigError("need at least one node")
+    if len(degrees) == 0:
+        mean_deg, excess = 0.0, 0.0
+    else:
+        mean_deg, excess = degree_moments(degrees)
+    sigma = np.ones(ttl + 1)
+    if mean_deg <= 0:
+        sigma[1:] = 0.0
+        return sigma, [1.0] * (ttl + 1)
+    M: List[float] = [1.0]
+    new = mean_deg
+    sigma[1] = 1.0
+    M.append(min(float(n_nodes), 1.0 + new))
+    for h in range(2, ttl + 1):
+        attempts = new * excess
+        if attempts <= 0:
+            sigma[h] = 0.0
+            new = 0.0
+            M.append(M[-1])
+            continue
+        frac_unseen = max(0.0, 1.0 - M[-1] / n_nodes)
+        # Collision-aware novelty: `attempts` copies land on ~uniform
+        # targets, of which only the unseen fraction can be novel, and
+        # same-hop copies collide with each other (birthday effect):
+        # expected distinct new nodes = n * unseen * (1 - exp(-a/n)).
+        distinct_new = n_nodes * frac_unseen * (1.0 - np.exp(-attempts / n_nodes))
+        sigma[h] = min(1.0, distinct_new / attempts)
+        new = attempts * sigma[h]
+        M.append(min(float(n_nodes), M[-1] + new))
+    return sigma, M
+
+
+def novelty_schedule(degrees: Sequence[int], ttl: int, *, n: int = 0) -> np.ndarray:
+    """Per-hop novelty probabilities ``sigma[1..ttl]`` (index 0 unused)."""
+    sigma, _ = _schedule(degrees, ttl, n)
+    return sigma
+
+
+def expected_coverage(degrees: Sequence[int], ttl: int, *, n: int = 0) -> List[float]:
+    """Expected cumulative nodes reached by each hop, ``M[0..ttl]``."""
+    _, M = _schedule(degrees, ttl, n)
+    return M

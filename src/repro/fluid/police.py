@@ -1,0 +1,260 @@
+"""DD-POLICE detection over fluid per-edge counts.
+
+Runs the same decision logic as the message-level engine -- warning
+threshold, buddy-group reports, Definitions 2.1/2.2, cut threshold --
+against the per-minute per-edge query counts the fluid engine produces.
+
+Faithfulness notes:
+
+* buddy groups come from the suspect's *published* neighbor list
+  (:meth:`GraphState.known_neighbors`), which is up to one exchange
+  period stale -- new neighbors are invisible (their traffic inflates g),
+  departed members report zero (their ghost membership deflates g);
+* compromised peers answer with their configured
+  :class:`~repro.attack.cheating.CheatStrategy`; silence is mapped to
+  (0, 0) per Section 3.4;
+* a suspect convicted by an observer loses that one edge; a peer cut by
+  *all* its neighbors drops out and must rejoin through bootstrap (the
+  model marks it offline so the churn process re-admits it later).
+
+The naive-cutoff baseline is included here as well so the large-scale
+comparison benches can swap defenses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.attack.cheating import CheatStrategy, apply_cheat
+from repro.core.config import DDPoliceConfig
+from repro.core.indicators import NeighborReport, indicators_from_reports
+from repro.errors import ConfigError
+from repro.fluid.graphstate import GraphState
+from repro.metrics.errors import Judgment, JudgmentLog
+
+EdgeFlows = Dict[Tuple[int, int], float]
+
+
+@dataclass
+class FluidPoliceStats:
+    """Per-run protocol accounting."""
+
+    investigations: int = 0
+    convictions: int = 0
+    edges_cut: int = 0
+    peers_expelled: int = 0
+    traffic_messages: int = 0  # Neighbor_Traffic messages exchanged
+
+
+class FluidPolice:
+    """Minute-step DD-POLICE evaluator."""
+
+    def __init__(
+        self,
+        config: DDPoliceConfig,
+        bad_peers: Set[int],
+        *,
+        cheat_strategy: CheatStrategy = CheatStrategy.SILENT,
+        judgment_log: Optional[JudgmentLog] = None,
+        rng: Optional[random.Random] = None,
+        record_clears: bool = False,
+    ) -> None:
+        self.config = config
+        self.bad_peers = set(bad_peers)
+        self.cheat_strategy = cheat_strategy
+        self.judgments = judgment_log if judgment_log is not None else JudgmentLog()
+        self.stats = FluidPoliceStats()
+        self._rng = rng or random.Random(0)
+        self.record_clears = record_clears
+
+    # ------------------------------------------------------------------
+    def _member_report(
+        self,
+        member: int,
+        suspect: int,
+        state: GraphState,
+        delivered: EdgeFlows,
+        sent: EdgeFlows,
+    ) -> Optional[NeighborReport]:
+        """What buddy-group member ``member`` reports about ``suspect``.
+
+        ``# of Outgoing queries`` counts what the member *sent* (its own
+        Out_query counter, pre-link-loss); ``# of Incoming`` counts what
+        it actually *received* from the suspect.
+        """
+        if not state.online[member]:
+            return None  # offline: no answer within the window
+        if suspect in state.adjacency[member]:
+            true_out = int(round(sent.get((member, suspect), 0.0)))
+            true_in = int(round(delivered.get((suspect, member), 0.0)))
+        else:
+            true_out = true_in = 0  # stale membership: honest zeros
+        if member in self.bad_peers:
+            cheated = apply_cheat(self.cheat_strategy, true_out, true_in)
+            if cheated is None:
+                return None
+            return NeighborReport(member=member, outgoing=cheated[0], incoming=cheated[1])
+        return NeighborReport(member=member, outgoing=true_out, incoming=true_in)
+
+    # ------------------------------------------------------------------
+    def step(
+        self,
+        minute: float,
+        state: GraphState,
+        flows: EdgeFlows,
+        sent: Optional[EdgeFlows] = None,
+    ) -> int:
+        """Run one detection round; returns edges cut this minute.
+
+        ``flows`` carries delivered counts (the receiver-side In_query
+        view); ``sent`` the sender-side Out_query view (defaults to
+        ``flows`` when link loss is not modelled).
+        """
+        if sent is None:
+            sent = flows
+        warning = self.config.warning_threshold_qpm
+        ct = self.config.cut_threshold
+        q = self.config.q_threshold_qpm
+
+        # 1. Gather suspects: (suspect -> observers that crossed warning).
+        suspects: Dict[int, List[int]] = {}
+        for (j, i), f in flows.items():
+            if f <= warning:
+                continue
+            if i in self.bad_peers:
+                continue  # compromised peers don't police
+            if not (state.online[i] and state.online[j]):
+                continue
+            if j not in state.adjacency[i]:
+                continue
+            suspects.setdefault(j, []).append(i)
+
+        # 2. Decide every investigation against the *pre-step* state: the
+        # protocol's report exchange and decisions all happen inside the
+        # same 5-second window, so a peer expelled this round still
+        # testified for the others.
+        pending_cuts: List[Tuple[int, int]] = []  # (observer, suspect)
+        for suspect, observers in sorted(suspects.items()):
+            self.stats.investigations += 1
+            members = set(state.known_neighbors(suspect)) - {suspect}
+            # Each observer is a live neighbor, hence a group member even
+            # if the published list hasn't caught up.
+            members.update(observers)
+            reports: Dict[int, Optional[NeighborReport]] = {}
+            responders = 0
+            for m in sorted(members):
+                rep = self._member_report(m, suspect, state, flows, sent)
+                # DD-POLICE-r (r > 1): members are cross-validated with
+                # *their* buddy groups over the wider radius. A member
+                # that is itself a suspect (crossed the warning at any of
+                # its own neighbors) cannot vouch for this suspect -- its
+                # report is discarded, defeating pairwise collusion.
+                if (
+                    rep is not None
+                    and self.config.radius > 1
+                    and m in suspects
+                    and m != suspect
+                ):
+                    rep = None
+                reports[m] = rep
+                if rep is not None:
+                    responders += 1
+            # Message accounting: every responding member broadcasts to
+            # the other members once per round (5 s dedup collapses the
+            # per-observer requests).
+            self.stats.traffic_messages += responders * max(0, len(members) - 1)
+
+            convicted_by: List[int] = []
+            for i in sorted(observers):
+                own_out = int(round(sent.get((i, suspect), 0.0)))
+                own_in = int(round(flows.get((suspect, i), 0.0)))
+                other_reports = {m: r for m, r in reports.items() if m != i}
+                g, s = indicators_from_reports(
+                    observer=i,
+                    own_out_to_j=own_out,
+                    own_in_from_j=own_in,
+                    reports=other_reports,
+                    q=q,
+                )
+                guilty = g > ct or s > ct
+                if guilty:
+                    convicted_by.append(i)
+                if guilty or self.record_clears:
+                    self.judgments.record(
+                        Judgment(
+                            time=minute,
+                            observer=i,
+                            suspect=suspect,
+                            g_value=g,
+                            s_value=s,
+                            disconnected=guilty,
+                        )
+                    )
+            if convicted_by:
+                self.stats.convictions += 1
+                pending_cuts.extend((i, suspect) for i in convicted_by)
+
+        # 3. Apply all cuts after every decision is made.
+        cut_count = 0
+        expelled: Set[int] = set()
+        for i, suspect in pending_cuts:
+            state.remove_edge(i, suspect)
+            cut_count += 1
+            self.stats.edges_cut += 1
+            # Fully isolated peers fall off the overlay and must
+            # re-bootstrap: model as churn departure.
+            if not state.adjacency[suspect] and suspect not in expelled:
+                state.online[suspect] = False
+                expelled.add(suspect)
+                self.stats.peers_expelled += 1
+        return cut_count
+
+
+class FluidNaiveCutoff:
+    """Naive rate-cutoff baseline at fluid scale (cf. baselines.naive)."""
+
+    def __init__(
+        self,
+        cutoff_qpm: float,
+        bad_peers: Set[int],
+        *,
+        judgment_log: Optional[JudgmentLog] = None,
+    ) -> None:
+        if cutoff_qpm <= 0:
+            raise ConfigError("cutoff_qpm must be positive")
+        self.cutoff_qpm = cutoff_qpm
+        self.bad_peers = set(bad_peers)
+        self.judgments = judgment_log if judgment_log is not None else JudgmentLog()
+        self.stats = FluidPoliceStats()
+
+    def step(self, minute: float, state: GraphState, flows: EdgeFlows) -> int:
+        cut = 0
+        for (j, i), f in sorted(flows.items()):
+            if f <= self.cutoff_qpm:
+                continue
+            if i in self.bad_peers:
+                continue
+            if not (state.online[i] and state.online[j]):
+                continue
+            if j not in state.adjacency[i]:
+                continue
+            self.judgments.record(
+                Judgment(
+                    time=minute,
+                    observer=i,
+                    suspect=j,
+                    g_value=f / self.cutoff_qpm,
+                    s_value=float("nan"),
+                    disconnected=True,
+                    reason="naive_cutoff",
+                )
+            )
+            state.remove_edge(i, j)
+            cut += 1
+            self.stats.edges_cut += 1
+            if not state.adjacency[j]:
+                state.online[j] = False
+                self.stats.peers_expelled += 1
+        return cut

@@ -1,0 +1,24 @@
+"""Evaluation metrics (Sections 3.6-3.7).
+
+* traffic cost, response time, query success rate S(t) -- Figures 9-11;
+* damage rate D(t) and damage recovery time -- Figures 12 and 14;
+* false negative / false positive / false judgment -- Figure 13 (keeping
+  the paper's swapped terminology: *false negative* = good peers wrongly
+  disconnected, *false positive* = bad peers not identified).
+"""
+
+from repro.metrics.series import TimeSeries
+from repro.metrics.damage import damage_rate_series, damage_recovery_time
+from repro.metrics.errors import Judgment, JudgmentLog, ErrorCounts
+from repro.metrics.collectors import MinuteMetrics, MetricsCollector
+
+__all__ = [
+    "TimeSeries",
+    "damage_rate_series",
+    "damage_recovery_time",
+    "Judgment",
+    "JudgmentLog",
+    "ErrorCounts",
+    "MinuteMetrics",
+    "MetricsCollector",
+]

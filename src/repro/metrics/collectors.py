@@ -1,0 +1,101 @@
+"""Per-minute metric collection for the message-level network.
+
+Snapshots the cumulative network counters once per minute window and
+derives the paper's three service-quality series: traffic cost (bytes
+and messages per minute), query success rate S(t) over the window, and
+mean response time over the window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.metrics.series import TimeSeries
+from repro.overlay.network import OverlayNetwork
+
+
+@dataclass
+class MinuteMetrics:
+    """Derived metrics for one completed minute."""
+
+    minute: int
+    time_s: float
+    messages: int
+    bytes_transferred: int
+    queries_issued: int
+    queries_succeeded: int
+    mean_response_time_s: Optional[float]
+
+    @property
+    def success_rate(self) -> float:
+        """S(t) = qs(t)/qw(t) over this minute (Section 3.6)."""
+        if self.queries_issued == 0:
+            return 0.0
+        return self.queries_succeeded / self.queries_issued
+
+
+class MetricsCollector:
+    """Subscribes to the network's minute rollover.
+
+    Success for the window counts queries *issued during the window* that
+    have received at least one response by collection time; collection is
+    deferred one window (``grace_minutes``) so in-flight responses land.
+    """
+
+    def __init__(self, network: OverlayNetwork, grace_minutes: int = 1) -> None:
+        self.network = network
+        self.grace_minutes = max(0, grace_minutes)
+        self.minutes: List[MinuteMetrics] = []
+        self._last_messages = 0
+        self._last_bytes = 0
+        self._window_starts: List[float] = [0.0]
+        network.minute_listeners.append(self._on_minute)
+
+    def _on_minute(self, minute: int, now: float) -> None:
+        self._window_starts.append(now)
+        # Evaluate the window that ended `grace_minutes` ago.
+        target = minute - self.grace_minutes
+        if target < 1:
+            return
+        t0 = self._window_starts[target - 1]
+        t1 = self._window_starts[target]
+        issued = succeeded = 0
+        rt_sum, rt_n = 0.0, 0
+        for rec in self.network.query_records.values():
+            if t0 <= rec.issued_at < t1:
+                issued += 1
+                if rec.succeeded:
+                    succeeded += 1
+                    if rec.response_time is not None:
+                        rt_sum += rec.response_time
+                        rt_n += 1
+        msgs = self.network.stats.messages_delivered
+        byts = self.network.stats.bytes_transferred
+        self.minutes.append(
+            MinuteMetrics(
+                minute=target,
+                time_s=t1,
+                messages=msgs - self._last_messages,
+                bytes_transferred=byts - self._last_bytes,
+                queries_issued=issued,
+                queries_succeeded=succeeded,
+                mean_response_time_s=(rt_sum / rt_n) if rt_n else None,
+            )
+        )
+        self._last_messages = msgs
+        self._last_bytes = byts
+
+    # ------------------------------------------------------------------
+    def success_series(self) -> TimeSeries:
+        return TimeSeries((m.time_s, m.success_rate) for m in self.minutes)
+
+    def traffic_series(self) -> TimeSeries:
+        return TimeSeries((m.time_s, float(m.messages)) for m in self.minutes)
+
+    def response_series(self) -> TimeSeries:
+        return TimeSeries(
+            (m.time_s, m.mean_response_time_s)
+            for m in self.minutes
+            if m.mean_response_time_s is not None
+        )

@@ -1,0 +1,121 @@
+"""Peer access-link bandwidth model.
+
+Per Section 3.5 the paper assigns link bandwidth "based on the
+observations in [19]" (Saroiu, Gummadi, Gribble, MMCN'02): 78% of peers
+have downstream bottleneck bandwidth of at least 100 Kbps and 22% have
+upstream bottleneck bandwidth of 100 Kbps or less. The attack rate is
+capped by the access link: ``Q_d = min(20,000, link capacity)`` queries
+per minute.
+
+We model the Saroiu measurement as a small set of bandwidth classes
+(dialup / DSL / cable / T1+) with the published mass at the 100 Kbps
+breakpoints, and convert bits/s into queries/minute using the mean query
+message size.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+#: Mean on-the-wire query size (bytes): 23-byte header + ~60-byte payload.
+MEAN_QUERY_SIZE_BYTES = 83
+
+
+@dataclass(frozen=True)
+class BandwidthClass:
+    """One access-technology class."""
+
+    name: str
+    downstream_bps: float
+    upstream_bps: float
+    weight: float  # population share
+
+    def __post_init__(self) -> None:
+        if self.downstream_bps <= 0 or self.upstream_bps <= 0:
+            raise ConfigError(f"bandwidth must be positive in class {self.name}")
+        if self.weight < 0:
+            raise ConfigError(f"negative weight in class {self.name}")
+
+
+#: Default classes tuned so that 22% of peers have upstream <= 100 Kbps
+#: and 78% have downstream >= 100 Kbps, matching Saroiu et al. as cited.
+SAROIU_CLASSES: Tuple[BandwidthClass, ...] = (
+    BandwidthClass("modem", downstream_bps=56_000, upstream_bps=33_600, weight=0.22),
+    BandwidthClass("dsl", downstream_bps=768_000, upstream_bps=128_000, weight=0.35),
+    BandwidthClass("cable", downstream_bps=3_000_000, upstream_bps=400_000, weight=0.30),
+    BandwidthClass("t1", downstream_bps=10_000_000, upstream_bps=10_000_000, weight=0.13),
+)
+
+
+def queries_per_minute(bps: float, query_size_bytes: int = MEAN_QUERY_SIZE_BYTES) -> float:
+    """Convert a link rate in bits/s to query messages/minute."""
+    if bps <= 0:
+        raise ConfigError(f"bps must be positive, got {bps}")
+    return bps * 60.0 / (8.0 * query_size_bytes)
+
+
+class BandwidthModel:
+    """Assigns each peer a bandwidth class and exposes rate caps.
+
+    >>> model = BandwidthModel(seed=1)
+    >>> caps = model.assign(1000)
+    >>> len(caps)
+    1000
+    """
+
+    def __init__(
+        self,
+        classes: Sequence[BandwidthClass] = SAROIU_CLASSES,
+        seed: int = 0,
+        query_size_bytes: int = MEAN_QUERY_SIZE_BYTES,
+    ) -> None:
+        if not classes:
+            raise ConfigError("need at least one bandwidth class")
+        total = sum(c.weight for c in classes)
+        if total <= 0:
+            raise ConfigError("class weights must sum to a positive value")
+        self.classes: Tuple[BandwidthClass, ...] = tuple(classes)
+        self._cum: List[float] = []
+        acc = 0.0
+        for c in classes:
+            acc += c.weight / total
+            self._cum.append(acc)
+        self._rng = random.Random(seed)
+        self.query_size_bytes = query_size_bytes
+
+    def sample_class(self) -> BandwidthClass:
+        """Draw one class according to the population weights."""
+        u = self._rng.random()
+        for c, cum in zip(self.classes, self._cum):
+            if u <= cum:
+                return c
+        return self.classes[-1]
+
+    def assign(self, n: int) -> List[BandwidthClass]:
+        """Assign classes to ``n`` peers."""
+        if n < 0:
+            raise ConfigError(f"n must be non-negative, got {n}")
+        return [self.sample_class() for _ in range(n)]
+
+    def upstream_qpm(self, cls: BandwidthClass) -> float:
+        """Upstream capacity in queries/minute for one peer."""
+        return queries_per_minute(cls.upstream_bps, self.query_size_bytes)
+
+    def downstream_qpm(self, cls: BandwidthClass) -> float:
+        """Downstream capacity in queries/minute for one peer."""
+        return queries_per_minute(cls.downstream_bps, self.query_size_bytes)
+
+    def attack_rate_qpm(self, cls: BandwidthClass, nominal_qpm: float = 20_000.0) -> float:
+        """Paper's attack-rate law: ``Q_d = min(20,000, link capacity)``."""
+        return min(nominal_qpm, self.upstream_qpm(cls))
+
+    def population_summary(self, n: int = 10_000) -> dict:
+        """Empirical shares at the 100 Kbps breakpoints (for validation)."""
+        sample = self.assign(n)
+        up_le_100k = sum(1 for c in sample if c.upstream_bps <= 100_000) / n
+        down_ge_100k = sum(1 for c in sample if c.downstream_bps >= 100_000) / n
+        return {"upstream_le_100k": up_le_100k, "downstream_ge_100k": down_ge_100k}

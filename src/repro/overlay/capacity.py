@@ -1,0 +1,67 @@
+"""Processing-capacity primitives.
+
+The paper's Section 2.3 measurement fixes the two capacity anchors used
+throughout: a good peer can *process* about 10,000 queries/minute (drops
+begin around 15,000/min incoming and reach 47% at 29,000/min), and a bad
+peer can *send* about 20,000 queries/minute. Peers here meter work with a
+token bucket refilled continuously at the capacity rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class TokenBucket:
+    """Continuous-refill token bucket.
+
+    Parameters
+    ----------
+    rate_per_min:
+        Refill rate, tokens (= queries) per minute of virtual time.
+    burst:
+        Bucket depth; defaults to one second's worth of tokens, modelling a
+        short input queue in front of the query processor.
+    """
+
+    rate_per_min: float
+    burst: float = 0.0
+    _tokens: float = 0.0
+    _last: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_min <= 0:
+            raise ConfigError(f"rate must be positive, got {self.rate_per_min}")
+        if self.burst <= 0:
+            self.burst = self.rate_per_min / 60.0  # one second of work
+        self._tokens = self.burst
+
+    @property
+    def rate_per_sec(self) -> float:
+        return self.rate_per_min / 60.0
+
+    def _refill(self, now: float) -> None:
+        # Tolerate slightly out-of-order timestamps (interleaved sources
+        # within one accounting window): no refill for time not yet seen.
+        if now < self._last:
+            return
+        self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate_per_sec)
+        self._last = now
+
+    def try_consume(self, now: float, amount: float = 1.0) -> bool:
+        """Consume ``amount`` tokens if available at virtual time ``now``."""
+        if amount < 0:
+            raise ConfigError(f"amount must be non-negative, got {amount}")
+        self._refill(now)
+        if self._tokens + 1e-12 >= amount:
+            self._tokens -= amount
+            return True
+        return False
+
+    def available(self, now: float) -> float:
+        """Tokens available at virtual time ``now`` (refilled view)."""
+        self._refill(now)
+        return self._tokens

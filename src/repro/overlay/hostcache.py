@@ -1,0 +1,60 @@
+"""Bootstrap host cache.
+
+Joining peers need addresses of online peers to connect to (GWebCache /
+pong-cache in deployed Gnutella). The cache hands out a sample of online
+peers biased by degree headroom so rejoining peers reproduce the paper's
+"turning on/off logical peers" churn without fragmenting the overlay.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Set
+
+from repro.errors import ConfigError
+from repro.overlay.ids import PeerId
+
+
+class HostCache:
+    """Tracks online peers and serves bootstrap candidates."""
+
+    def __init__(self, rng: random.Random, max_degree: int = 32) -> None:
+        if max_degree < 1:
+            raise ConfigError(f"max_degree must be >= 1, got {max_degree}")
+        self._rng = rng
+        self._online: Set[PeerId] = set()
+        self.max_degree = max_degree
+
+    def mark_online(self, pid: PeerId) -> None:
+        self._online.add(pid)
+
+    def mark_offline(self, pid: PeerId) -> None:
+        self._online.discard(pid)
+
+    @property
+    def online_count(self) -> int:
+        return len(self._online)
+
+    def online_peers(self) -> Set[PeerId]:
+        return set(self._online)
+
+    def candidates(
+        self,
+        want: int,
+        exclude: Optional[Set[PeerId]] = None,
+        degree_of: Optional[dict] = None,
+    ) -> List[PeerId]:
+        """Return up to ``want`` online peers to connect to.
+
+        ``degree_of`` maps PeerId -> current degree; peers at or above
+        ``max_degree`` are filtered out so hubs don't grow unboundedly.
+        """
+        if want < 0:
+            raise ConfigError(f"want must be non-negative, got {want}")
+        exclude = exclude or set()
+        pool = [p for p in self._online if p not in exclude]
+        if degree_of is not None:
+            pool = [p for p in pool if degree_of.get(p, 0) < self.max_degree]
+        if len(pool) <= want:
+            return pool
+        return self._rng.sample(pool, want)

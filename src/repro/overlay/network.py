@@ -1,0 +1,296 @@
+"""Overlay network container: peers + DES engine + content + links.
+
+This is the message-level ("detailed") simulation substrate. It delivers
+messages with per-hop latency, drives the per-minute traffic windows, and
+records the per-query bookkeeping behind the paper's service-quality
+metrics (response time = first response; success = at least one location
+found; traffic cost = bytes moved).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.errors import ConfigError, ProtocolError
+from repro.overlay.capacity import TokenBucket
+from repro.overlay.content import ContentCatalog, ContentConfig
+from repro.overlay.ids import Guid, GuidFactory, PeerId
+from repro.overlay.message import Message, Query, QueryHit
+from repro.overlay.peer import Peer
+from repro.overlay.topology import Topology
+from repro.simkit.engine import Simulator
+from repro.simkit.rng import RngRegistry
+from repro.simkit.timers import PeriodicTask
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Message-level network parameters."""
+
+    default_ttl: int = 7
+    hop_latency_s: float = 0.05
+    hop_latency_jitter_s: float = 0.02
+    minute_window_s: float = 60.0
+    processing_qpm_good: float = 10_000.0
+    #: Enforce per-peer access-link rates (Section 3.5's Saroiu
+    #: assignment): messages beyond the sender's upstream or receiver's
+    #: downstream budget are dropped in flight. Off by default so unit
+    #: tests see lossless links.
+    bandwidth_enabled: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.default_ttl < 1:
+            raise ConfigError(f"default_ttl must be >= 1, got {self.default_ttl}")
+        if self.hop_latency_s <= 0:
+            raise ConfigError(f"hop_latency_s must be positive")
+        if self.minute_window_s <= 0:
+            raise ConfigError(f"minute_window_s must be positive")
+
+
+@dataclass
+class QueryRecord:
+    """Per-issued-query bookkeeping."""
+
+    guid: Guid
+    origin: PeerId
+    issued_at: float
+    object_id: Optional[int] = None
+    first_response_at: Optional[float] = None
+    responses: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.responses > 0
+
+    @property
+    def response_time(self) -> Optional[float]:
+        if self.first_response_at is None:
+            return None
+        return self.first_response_at - self.issued_at
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate counters."""
+
+    messages_delivered: int = 0
+    bytes_transferred: int = 0
+    query_messages: int = 0
+    hit_messages: int = 0
+    control_messages: int = 0
+    queries_dropped_capacity: int = 0
+    messages_dropped_bandwidth: int = 0
+
+
+class OverlayNetwork:
+    """All peers plus the event-driven message fabric.
+
+    ``minute_listeners`` fire once per minute window with
+    ``(minute_index, now)`` *after* every peer's window has been rolled;
+    DD-POLICE engines and metric collectors subscribe there.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        *,
+        config: NetworkConfig = NetworkConfig(),
+        content: Optional[ContentCatalog] = None,
+        rng_registry: Optional[RngRegistry] = None,
+        processing_qpm: Optional[Dict[int, float]] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.rngs = rng_registry or RngRegistry(config.seed)
+        self._latency_rng = self.rngs.stream("net.latency")
+        self.guid_factory = GuidFactory(self.rngs.stream("net.guid"))
+        self.content = content or ContentCatalog(
+            ContentConfig(seed=config.seed), topology.n
+        )
+        self.stats = NetworkStats()
+        self.query_records: Dict[bytes, QueryRecord] = {}
+        self.minute_listeners: List[Callable[[int, float], None]] = []
+        self.minute_index = 0
+
+        # Optional per-peer access-link budgets (messages/min), assigned
+        # from the Saroiu classes when bandwidth enforcement is on.
+        self._up_links: Dict[PeerId, TokenBucket] = {}
+        self._down_links: Dict[PeerId, TokenBucket] = {}
+        if config.bandwidth_enabled:
+            from repro.overlay.bandwidth import BandwidthModel
+
+            bw = BandwidthModel(seed=config.seed)
+            for u in range(topology.n):
+                cls = bw.sample_class()
+                pid = PeerId(u)
+                self._up_links[pid] = TokenBucket(rate_per_min=bw.upstream_qpm(cls))
+                self._down_links[pid] = TokenBucket(
+                    rate_per_min=bw.downstream_qpm(cls)
+                )
+
+        # Build peers and wire up the topology.
+        self.peers: Dict[PeerId, Peer] = {}
+        for u in range(topology.n):
+            pid = PeerId(u)
+            qpm = (
+                processing_qpm.get(u, config.processing_qpm_good)
+                if processing_qpm
+                else config.processing_qpm_good
+            )
+            self.peers[pid] = Peer(pid, self, processing_qpm=qpm)
+        for u in range(topology.n):
+            pu = self.peers[PeerId(u)]
+            pu.go_online()
+            for v in topology.adjacency[u]:
+                pu.add_neighbor(PeerId(v))
+
+        self._minute_task = PeriodicTask(
+            sim,
+            config.minute_window_s,
+            self._roll_minute,
+            start_delay=config.minute_window_s,
+        )
+
+    # ------------------------------------------------------------------
+    # clock / content glue
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def shared_objects(self, pid: PeerId) -> Set[int]:
+        return self.content.peer_objects.get(pid.value, set())
+
+    def match_content(self, pid: PeerId, query: Query) -> Optional[int]:
+        """Return the object id if ``pid`` shares what the query asks for.
+
+        Attack queries carry keyword tuples that resolve to no object and
+        therefore never match -- 'bogus queries' in the paper's terms.
+        """
+        try:
+            obj = self.content.object_for_keywords(query.keywords)
+        except ConfigError:
+            return None
+        return obj if self.content.peer_has(pid.value, obj) else None
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def transmit(self, src: PeerId, dst: PeerId, msg: Message) -> None:
+        """Schedule delivery of ``msg`` after one hop of latency.
+
+        With bandwidth enforcement on, the sender's upstream and the
+        receiver's downstream budgets are charged per message; a depleted
+        link drops the message in flight (Section 3.5's link model).
+        """
+        if dst not in self.peers:
+            raise ProtocolError(f"unknown destination {dst}")
+        if self._up_links:
+            up = self._up_links.get(src)
+            down = self._down_links.get(dst)
+            if (up is not None and not up.try_consume(self.now)) or (
+                down is not None and not down.try_consume(self.now)
+            ):
+                self.stats.messages_dropped_bandwidth += 1
+                return
+        delay = self.config.hop_latency_s
+        if self.config.hop_latency_jitter_s > 0:
+            delay += self._latency_rng.uniform(0, self.config.hop_latency_jitter_s)
+        self.sim.schedule_in(delay, self._deliver, src, dst, msg)
+
+    def _deliver(self, src: PeerId, dst: PeerId, msg: Message) -> None:
+        peer = self.peers[dst]
+        if not peer.online:
+            return
+        self.stats.messages_delivered += 1
+        self.stats.bytes_transferred += msg.size_bytes
+        if isinstance(msg, Query):
+            self.stats.query_messages += 1
+        elif isinstance(msg, QueryHit):
+            self.stats.hit_messages += 1
+        else:
+            self.stats.control_messages += 1
+        peer.on_message(src, msg)
+
+    # ------------------------------------------------------------------
+    # connection management (used by churn and DD-POLICE disconnects)
+    # ------------------------------------------------------------------
+    def connect(self, a: PeerId, b: PeerId) -> None:
+        """Create the undirected logical connection a<->b."""
+        if a == b:
+            raise ProtocolError("cannot connect a peer to itself")
+        self.peers[a].add_neighbor(b)
+        self.peers[b].add_neighbor(a)
+
+    def disconnect(self, a: PeerId, b: PeerId, reason_code: int = 0) -> None:
+        """Tear down a<->b; both sides observe the reason."""
+        self.peers[a].remove_neighbor(b, reason_code)
+        self.peers[b].remove_neighbor(a, reason_code)
+
+    def neighbors_of(self, pid: PeerId) -> Set[PeerId]:
+        return set(self.peers[pid].neighbors)
+
+    # ------------------------------------------------------------------
+    # query bookkeeping
+    # ------------------------------------------------------------------
+    def note_query_issued(self, origin: PeerId, msg: Query) -> None:
+        obj: Optional[int]
+        try:
+            obj = self.content.object_for_keywords(msg.keywords)
+        except ConfigError:
+            obj = None
+        self.query_records[msg.guid.raw] = QueryRecord(
+            guid=msg.guid, origin=origin, issued_at=self.now, object_id=obj
+        )
+
+    def note_query_hit(self, responder: PeerId, query: Query, hit: QueryHit) -> None:
+        # Bookkeeping only; delivery happens along the reverse path.
+        pass
+
+    def note_response_arrived(self, origin: PeerId, hit: QueryHit) -> None:
+        if hit.query_guid is None:
+            return
+        rec = self.query_records.get(hit.query_guid.raw)
+        if rec is None or rec.origin != origin:
+            return
+        rec.responses += 1
+        if rec.first_response_at is None:
+            rec.first_response_at = self.now
+
+    def note_query_dropped(self, pid: PeerId, msg: Query) -> None:
+        self.stats.queries_dropped_capacity += 1
+
+    # ------------------------------------------------------------------
+    # minute windows
+    # ------------------------------------------------------------------
+    def _roll_minute(self) -> None:
+        self.minute_index += 1
+        for peer in self.peers.values():
+            if peer.online:
+                peer.roll_minute_window()
+        for listener in self.minute_listeners:
+            listener(self.minute_index, self.now)
+
+    # ------------------------------------------------------------------
+    # summaries
+    # ------------------------------------------------------------------
+    def success_rate(self) -> float:
+        """Fraction of issued queries with >= 1 response (S(t) overall)."""
+        recs = self.query_records.values()
+        total = len(self.query_records)
+        if total == 0:
+            return 0.0
+        return sum(1 for r in recs if r.succeeded) / total
+
+    def mean_response_time(self) -> Optional[float]:
+        times = [
+            r.response_time
+            for r in self.query_records.values()
+            if r.response_time is not None
+        ]
+        if not times:
+            return None
+        return sum(times) / len(times)

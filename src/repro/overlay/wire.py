@@ -1,0 +1,208 @@
+"""Binary codecs for the standard Gnutella 0.6 message bodies.
+
+The DD-POLICE extension types (0x82/0x83) live in
+:mod:`repro.core.wire`; this module covers the vocabulary the paper
+builds *on*: Ping, Pong, Query, and QueryHit, following the 0.6
+specification's layouts:
+
+Pong (payload 0x01, 14 bytes)::
+
+    offset  0: port              (2, little-endian)
+    offset  2: IP address        (4, big-endian dotted order)
+    offset  6: # shared files    (4, little-endian)
+    offset 10: # shared kbytes   (4, little-endian)
+
+Query (payload 0x80)::
+
+    offset 0: minimum speed      (2, little-endian)
+    offset 2: search criteria    (NUL-terminated string)
+
+QueryHit (payload 0x81)::
+
+    offset  0: number of hits    (1)
+    offset  1: port              (2, little-endian)
+    offset  3: IP address        (4)
+    offset  7: speed             (4, little-endian)
+    offset 11: result set        (per hit: index 4, size 4,
+                                  name NUL, extensions NUL)
+    tail     : servent GUID      (16)
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.wire import HEADER_SIZE, GnutellaHeader
+from repro.errors import WireFormatError
+from repro.overlay.ids import Guid, PeerId
+from repro.overlay.message import MessageKind, Ping, Pong, Query, QueryHit
+
+_PONG_STRUCT = struct.Struct("<H4sII")
+
+
+def encode_ping(msg: Ping) -> bytes:
+    """Serialize a Ping (empty body)."""
+    header = GnutellaHeader(msg.guid, MessageKind.PING, msg.ttl, msg.hops, 0)
+    return header.encode()
+
+
+def decode_ping(raw: bytes) -> Ping:
+    """Parse a Ping."""
+    header = GnutellaHeader.decode(raw)
+    if header.kind is not MessageKind.PING:
+        raise WireFormatError(f"expected Ping, got {header.kind}")
+    if header.payload_length != 0:
+        raise WireFormatError("Ping carries no body")
+    return Ping(guid=header.guid, ttl=header.ttl, hops=header.hops)
+
+
+def encode_pong(msg: Pong, *, port: int = 6346, shared_kbytes: int = 0) -> bytes:
+    """Serialize a Pong with the responder's address and library size."""
+    if msg.responder is None:
+        raise WireFormatError("Pong requires a responder")
+    if not (0 <= port <= 0xFFFF):
+        raise WireFormatError(f"port out of range: {port}")
+    body = _PONG_STRUCT.pack(
+        port, msg.responder.ipv4_bytes(), msg.shared_files, shared_kbytes
+    )
+    header = GnutellaHeader(msg.guid, MessageKind.PONG, msg.ttl, msg.hops, len(body))
+    return header.encode() + body
+
+
+def decode_pong(raw: bytes) -> Tuple[Pong, int, int]:
+    """Parse a Pong; returns (message, port, shared_kbytes)."""
+    header = GnutellaHeader.decode(raw)
+    if header.kind is not MessageKind.PONG:
+        raise WireFormatError(f"expected Pong, got {header.kind}")
+    body = raw[HEADER_SIZE:]
+    if len(body) != _PONG_STRUCT.size or header.payload_length != _PONG_STRUCT.size:
+        raise WireFormatError(f"Pong body must be {_PONG_STRUCT.size} bytes")
+    port, ip_raw, files, kbytes = _PONG_STRUCT.unpack(body)
+    pong = Pong(
+        guid=header.guid,
+        ttl=header.ttl,
+        hops=header.hops,
+        responder=PeerId.from_ipv4_bytes(ip_raw),
+        shared_files=files,
+    )
+    return pong, port, kbytes
+
+
+def encode_query(msg: Query) -> bytes:
+    """Serialize a Query: min speed + NUL-terminated search string."""
+    search = msg.search_string.encode("utf-8")
+    if b"\x00" in search:
+        raise WireFormatError("search string must not contain NUL")
+    body = struct.pack("<H", msg.min_speed) + search + b"\x00"
+    header = GnutellaHeader(msg.guid, MessageKind.QUERY, msg.ttl, msg.hops, len(body))
+    return header.encode() + body
+
+
+def decode_query(raw: bytes) -> Query:
+    """Parse a Query back into keywords (split on whitespace)."""
+    header = GnutellaHeader.decode(raw)
+    if header.kind is not MessageKind.QUERY:
+        raise WireFormatError(f"expected Query, got {header.kind}")
+    body = raw[HEADER_SIZE:]
+    if len(body) != header.payload_length or len(body) < 3:
+        raise WireFormatError("malformed Query body")
+    (min_speed,) = struct.unpack("<H", body[:2])
+    if body[-1:] != b"\x00":
+        raise WireFormatError("Query search string must be NUL-terminated")
+    search = body[2:-1].decode("utf-8")
+    return Query(
+        guid=header.guid,
+        ttl=header.ttl,
+        hops=header.hops,
+        keywords=tuple(search.split()),
+        min_speed=min_speed,
+    )
+
+
+@dataclass(frozen=True)
+class HitRecord:
+    """One result inside a QueryHit's result set."""
+
+    file_index: int
+    file_size: int
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.file_index < 0 or self.file_size < 0:
+            raise WireFormatError("hit fields must be non-negative")
+        if "\x00" in self.name:
+            raise WireFormatError("hit name must not contain NUL")
+
+
+def encode_query_hit(
+    msg: QueryHit,
+    hits: List[HitRecord],
+    *,
+    port: int = 6346,
+    speed: int = 0,
+) -> bytes:
+    """Serialize a QueryHit with an explicit result set.
+
+    The servent GUID trailer carries the *query* GUID so reverse-path
+    routers can correlate (our simulator's convention; real servents put
+    their own identity there and correlate via the header GUID).
+    """
+    if msg.responder is None or msg.query_guid is None:
+        raise WireFormatError("QueryHit requires responder and query_guid")
+    if not hits:
+        raise WireFormatError("QueryHit requires at least one hit")
+    if len(hits) > 255:
+        raise WireFormatError("at most 255 hits per QueryHit")
+    body = struct.pack("<B", len(hits))
+    body += struct.pack("<H", port)
+    body += msg.responder.ipv4_bytes()
+    body += struct.pack("<I", speed)
+    for hit in hits:
+        body += struct.pack("<II", hit.file_index, hit.file_size)
+        body += hit.name.encode("utf-8") + b"\x00\x00"  # name NUL + ext NUL
+    body += msg.query_guid.raw
+    header = GnutellaHeader(
+        msg.guid, MessageKind.QUERY_HIT, msg.ttl, msg.hops, len(body)
+    )
+    return header.encode() + body
+
+
+def decode_query_hit(raw: bytes) -> Tuple[QueryHit, List[HitRecord]]:
+    """Parse a QueryHit; returns (message, result records)."""
+    header = GnutellaHeader.decode(raw)
+    if header.kind is not MessageKind.QUERY_HIT:
+        raise WireFormatError(f"expected QueryHit, got {header.kind}")
+    body = raw[HEADER_SIZE:]
+    if len(body) != header.payload_length or len(body) < 11 + 16:
+        raise WireFormatError("malformed QueryHit body")
+    count = body[0]
+    (port,) = struct.unpack("<H", body[1:3])
+    responder = PeerId.from_ipv4_bytes(body[3:7])
+    (speed,) = struct.unpack("<I", body[7:11])
+    offset = 11
+    hits: List[HitRecord] = []
+    for _ in range(count):
+        if offset + 8 > len(body) - 16:
+            raise WireFormatError("truncated QueryHit result set")
+        idx, size = struct.unpack("<II", body[offset : offset + 8])
+        offset += 8
+        end = body.index(b"\x00", offset)
+        name = body[offset:end].decode("utf-8")
+        offset = end + 1
+        ext_end = body.index(b"\x00", offset)
+        offset = ext_end + 1
+        hits.append(HitRecord(file_index=idx, file_size=size, name=name))
+    trailer = body[len(body) - 16 :]
+    if offset != len(body) - 16:
+        raise WireFormatError("QueryHit result set length mismatch")
+    msg = QueryHit(
+        guid=header.guid,
+        ttl=header.ttl,
+        hops=header.hops,
+        responder=responder,
+        result_count=count,
+        query_guid=Guid(trailer),
+    )
+    return msg, hits

@@ -1,0 +1,28 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free DES engine used by every other subsystem:
+
+* :class:`~repro.simkit.engine.Simulator` -- heap-based event loop with a
+  monotonically non-decreasing virtual clock.
+* :class:`~repro.simkit.events.Event` -- scheduled callbacks with stable
+  FIFO tie-breaking and O(log n) cancellation.
+* :class:`~repro.simkit.timers.PeriodicTask` / jittered periodic processes.
+* :class:`~repro.simkit.rng.RngRegistry` -- named, independently seeded
+  random streams so that sub-components draw from decoupled sequences and
+  experiments stay reproducible when one component's draw count changes.
+"""
+
+from repro.simkit.engine import Simulator, SimulationError
+from repro.simkit.events import Event, EventState
+from repro.simkit.timers import PeriodicTask, Timeout
+from repro.simkit.rng import RngRegistry
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "Event",
+    "EventState",
+    "PeriodicTask",
+    "Timeout",
+    "RngRegistry",
+]

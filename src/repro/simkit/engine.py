@@ -1,0 +1,161 @@
+"""Heap-based discrete-event simulator.
+
+The engine owns a virtual clock and a binary heap of :class:`Event`
+objects. Cancellation is lazy: cancelled events stay in the heap and are
+skipped on pop, which keeps ``cancel`` O(1) and pop amortized O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.simkit.events import Event
+
+
+class SimulationError(RuntimeError):
+    """Raised on scheduler misuse (e.g. scheduling into the past)."""
+
+
+class Simulator:
+    """Discrete-event loop with a non-decreasing virtual clock.
+
+    Time units are abstract; the overlay layer interprets them as seconds.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule_at(5.0, fired.append, 5.0)
+    >>> _ = sim.schedule_at(1.0, fired.append, 1.0)
+    >>> sim.run()
+    >>> fired
+    [1.0, 5.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        if start_time < 0:
+            raise ValueError("start_time must be non-negative")
+        self._now = float(start_time)
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._events_fired = 0
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._events_fired
+
+    @property
+    def pending_count(self) -> int:
+        """Number of pending (non-cancelled) events in the queue."""
+        return sum(1 for e in self._heap if e.pending)
+
+    # -- scheduling --------------------------------------------------------
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        tag: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: t={time} < now={self._now}"
+            )
+        ev = Event(time, self._seq, callback, args, priority=priority, tag=tag)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        tag: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback(*args)`` ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(
+            self._now + delay, callback, *args, priority=priority, tag=tag
+        )
+
+    # -- execution ---------------------------------------------------------
+    def step(self) -> Optional[Event]:
+        """Fire the single next pending event; return it, or None if empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            ev.fire()
+            self._events_fired += 1
+            return ev
+        return None
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the clock would pass ``until``; the clock is
+            advanced to exactly ``until`` and remaining events stay queued.
+        max_events:
+            Safety valve: stop after firing this many events.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while self._heap and not self._stopped:
+                if max_events is not None and fired >= max_events:
+                    break
+                nxt = self._heap[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and nxt.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = nxt.time
+                nxt.fire()
+                self._events_fired += 1
+                fired += 1
+            if until is not None and self._now < until and not self._stopped:
+                self._now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Request loop exit after the currently firing event returns."""
+        self._stopped = True
+
+    # -- introspection -------------------------------------------------
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def drain(self) -> Tuple[int, int]:
+        """Discard all queued events; returns (pending, cancelled) counts."""
+        pending = sum(1 for e in self._heap if e.pending)
+        cancelled = len(self._heap) - pending
+        self._heap.clear()
+        return pending, cancelled

@@ -1,0 +1,66 @@
+"""Named, independently seeded random streams.
+
+Every stochastic component (topology, churn, workload, attack, protocol
+jitter) draws from its own stream derived from a single experiment seed.
+This keeps experiments reproducible *and* decoupled: adding a draw in one
+component does not perturb the sequences seen by the others -- a standard
+variance-reduction discipline in simulation studies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+import numpy as np
+
+
+def derive_seed(master_seed: int, name: str) -> int:
+    """Derive a 63-bit child seed from (master_seed, stream name).
+
+    Uses SHA-256 so child streams are statistically independent and stable
+    across Python versions/platforms (unlike ``hash()``).
+    """
+    payload = f"{master_seed}:{name}".encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFFFFFFFFFFFFFF
+
+
+class RngRegistry:
+    """Factory of named :class:`random.Random` / numpy Generator streams.
+
+    >>> reg = RngRegistry(42)
+    >>> a = reg.stream("churn")
+    >>> b = reg.stream("churn")
+    >>> a is b
+    True
+    >>> reg.stream("workload") is a
+    False
+    """
+
+    def __init__(self, master_seed: int = 0) -> None:
+        self.master_seed = int(master_seed)
+        self._streams: Dict[str, random.Random] = {}
+        self._np_streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the (memoized) stdlib stream for ``name``."""
+        if name not in self._streams:
+            self._streams[name] = random.Random(derive_seed(self.master_seed, name))
+        return self._streams[name]
+
+    def numpy_stream(self, name: str) -> np.random.Generator:
+        """Return the (memoized) numpy Generator for ``name``."""
+        if name not in self._np_streams:
+            self._np_streams[name] = np.random.default_rng(
+                derive_seed(self.master_seed, "np:" + name)
+            )
+        return self._np_streams[name]
+
+    def fork(self, name: str) -> "RngRegistry":
+        """Child registry with a seed derived from this one.
+
+        Used for per-trial registries inside parameter sweeps.
+        """
+        return RngRegistry(derive_seed(self.master_seed, "fork:" + name))

@@ -1,0 +1,32 @@
+"""Structured-P2P extension (the paper's future work, Section 5).
+
+"Other future work includes ... studying overlay DDoS in structured P2P
+systems." This package provides a Chord-style DHT substrate, a
+lookup-flooding attack, and an adaptation of DD-POLICE's rate indicators
+to deterministic DHT routing:
+
+* :mod:`~repro.structured.chord` -- identifier ring, successor lists,
+  finger tables, recursive (anonymity-preserving) lookup routing with
+  per-node processing capacity;
+* :mod:`~repro.structured.attack` -- lookup-flood agents, either
+  *diffuse* (random keys: load spreads like unstructured flooding) or
+  *targeted* (one key: the victim's successor melts);
+* :mod:`~repro.structured.defense` -- the DD-POLICE adaptation: because
+  DHT routing is deterministic, each node knows how much traffic a
+  predecessor *should* relay, so a single-link indicator suffices -- no
+  buddy group needed.
+"""
+
+from repro.structured.chord import ChordConfig, ChordRing, LookupResult
+from repro.structured.attack import LookupFlooder, LookupAttackConfig
+from repro.structured.defense import ChordPolice, ChordPoliceConfig
+
+__all__ = [
+    "ChordConfig",
+    "ChordRing",
+    "LookupResult",
+    "LookupFlooder",
+    "LookupAttackConfig",
+    "ChordPolice",
+    "ChordPoliceConfig",
+]

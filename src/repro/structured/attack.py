@@ -1,0 +1,114 @@
+"""Lookup-flooding DDoS against the DHT.
+
+Two modes, mirroring the unstructured analysis:
+
+* **diffuse** -- agents look up uniformly random keys; the load spreads
+  over the whole ring (the closest analogue of query flooding, though a
+  DHT amplifies by only ~log n instead of ~|E|);
+* **targeted** -- agents hammer a single key; Chord's determinism focuses
+  the entire flood on the key's owner and the last-hop fingers around it
+  (Naoumov & Ross's observation that structure *concentrates* attacks).
+
+Lookup events are timestamped within the minute and must be routed in
+global time order (token buckets refill monotonically); use
+:func:`route_events` to merge attack and legitimate load.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.structured.chord import ChordRing, LookupResult
+
+#: One lookup event: (time_s, origin node index, key).
+LookupEvent = Tuple[float, int, int]
+
+
+@dataclass(frozen=True)
+class LookupAttackConfig:
+    """Lookup-flood parameters."""
+
+    agents: Sequence[int] = ()
+    rate_qpm: float = 20_000.0
+    mode: str = "diffuse"  # diffuse | targeted
+    target_key: Optional[int] = None
+    #: Cap on simulated events per agent-minute; above it each simulated
+    #: lookup statistically stands for several real ones (extra capacity
+    #: is charged along the path).
+    per_agent_cap: int = 5000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_qpm <= 0:
+            raise ConfigError("rate_qpm must be positive")
+        if self.mode not in ("diffuse", "targeted"):
+            raise ConfigError(f"unknown attack mode {self.mode!r}")
+        if self.mode == "targeted" and self.target_key is None:
+            raise ConfigError("targeted mode requires target_key")
+        if self.per_agent_cap < 1:
+            raise ConfigError("per_agent_cap must be >= 1")
+
+
+def route_events(
+    ring: ChordRing,
+    events: Iterable[LookupEvent],
+    *,
+    weight: float = 1.0,
+) -> List[LookupResult]:
+    """Route events in global time order.
+
+    ``weight > 1`` means each event statistically represents ``weight``
+    real lookups: the surplus capacity is charged along the path.
+    """
+    results: List[LookupResult] = []
+    for t, origin, key in sorted(events):
+        result = ring.lookup(origin, key, t)
+        results.append(result)
+        if weight > 1.0:
+            for node in result.path[1:]:
+                ring.processing[node].try_consume(t, amount=weight - 1.0)
+    return results
+
+
+class LookupFlooder:
+    """Drives the compromised nodes' lookup floods, minute by minute."""
+
+    def __init__(self, ring: ChordRing, config: LookupAttackConfig) -> None:
+        for a in config.agents:
+            if not (0 <= a < ring.config.n_nodes):
+                raise ConfigError(f"agent index {a} out of range")
+        self.ring = ring
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self.lookups_issued = 0
+
+    def _next_key(self) -> int:
+        if self.config.mode == "targeted":
+            assert self.config.target_key is not None
+            return self.config.target_key
+        return self._rng.randrange(self.ring.space)
+
+    @property
+    def event_weight(self) -> float:
+        count = min(int(self.config.rate_qpm), self.config.per_agent_cap)
+        return self.config.rate_qpm / max(1, count)
+
+    def events_for_minute(self, minute_start_s: float) -> List[LookupEvent]:
+        """The attack's lookup events for one minute (unsorted)."""
+        count = min(int(self.config.rate_qpm), self.config.per_agent_cap)
+        events: List[LookupEvent] = []
+        for agent in self.config.agents:
+            for i in range(count):
+                t = minute_start_s + 60.0 * (i + self._rng.random()) / count
+                events.append((t, agent, self._next_key()))
+        self.lookups_issued += len(events)
+        return events
+
+    def run_minute(self, minute_start_s: float) -> List[LookupResult]:
+        """Issue and route one minute of attack lookups (no other load)."""
+        return route_events(
+            self.ring, self.events_for_minute(minute_start_s), weight=self.event_weight
+        )

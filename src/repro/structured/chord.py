@@ -1,0 +1,226 @@
+"""Chord-style DHT ring with recursive lookup routing.
+
+A minimal but real Chord (Stoica et al.) substrate:
+
+* nodes own identifiers on a ``2^m`` ring (derived from a seeded hash of
+  their index);
+* each node keeps a successor list and a finger table
+  (``finger[i] = successor(node_id + 2^i)``);
+* lookups route *recursively* -- each hop forwards to the closest
+  preceding finger -- so, like Gnutella queries, a relayed lookup does
+  not reveal its originator (the anonymity property that motivates
+  overlay-level defenses);
+* every relayed lookup consumes processing capacity at the relay
+  (token-bucket, same anchors as the unstructured substrate), so floods
+  cause drops.
+
+The routing is simulated synchronously per lookup (a DHT path is a
+single O(log n) chain, unlike a flood), with per-minute per-link
+counters exposed for the defense.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ConfigError, ProtocolError
+from repro.overlay.capacity import TokenBucket
+
+
+@dataclass(frozen=True)
+class ChordConfig:
+    """Ring parameters."""
+
+    n_nodes: int = 128
+    id_bits: int = 32
+    successor_list: int = 4
+    processing_qpm: float = 10_000.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ConfigError("need at least 2 nodes")
+        if not (8 <= self.id_bits <= 64):
+            raise ConfigError("id_bits must be in [8, 64]")
+        if 2**self.id_bits < 4 * self.n_nodes:
+            raise ConfigError("identifier space too small for the node count")
+        if self.successor_list < 1:
+            raise ConfigError("successor_list must be >= 1")
+        if self.processing_qpm <= 0:
+            raise ConfigError("processing_qpm must be positive")
+
+
+@dataclass
+class LookupResult:
+    """Outcome of one routed lookup."""
+
+    key: int
+    origin: int  # node index
+    owner: Optional[int]  # node index owning the key, None if dropped
+    hops: int
+    path: List[int]
+    dropped_at: Optional[int] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.owner is not None
+
+
+class ChordRing:
+    """The ring, its routing tables, and capacity-limited relaying."""
+
+    def __init__(self, config: ChordConfig = ChordConfig()) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self.space = 2**config.id_bits
+
+        # Derive unique ring ids from a seeded hash of the node index.
+        ids: Set[int] = set()
+        self.node_id: List[int] = []
+        for idx in range(config.n_nodes):
+            nid = self._hash(f"node:{config.seed}:{idx}")
+            while nid in ids:
+                nid = (nid + 1) % self.space
+            ids.add(nid)
+            self.node_id.append(nid)
+        # Ring order: node indices sorted by ring id.
+        self.ring_order: List[int] = sorted(
+            range(config.n_nodes), key=lambda i: self.node_id[i]
+        )
+        self._pos: Dict[int, int] = {idx: p for p, idx in enumerate(self.ring_order)}
+
+        self.fingers: Dict[int, List[int]] = {}
+        self.successors: Dict[int, List[int]] = {}
+        for idx in range(config.n_nodes):
+            self._build_tables(idx)
+
+        self.processing: Dict[int, TokenBucket] = {
+            idx: TokenBucket(rate_per_min=config.processing_qpm)
+            for idx in range(config.n_nodes)
+        }
+        #: Links whose receiver refuses to relay for the sender (set by
+        #: the defense). A lookup arriving over a blocked link dies.
+        self.blocked: Set[Tuple[int, int]] = set()
+        # Per-directed-link lookups relayed in the current minute window.
+        self.link_counts: Dict[Tuple[int, int], int] = {}
+        self.lookups_routed = 0
+        self.lookups_dropped = 0
+
+    # ------------------------------------------------------------------
+    def _hash(self, text: str) -> int:
+        digest = hashlib.sha256(text.encode()).digest()
+        return int.from_bytes(digest[:8], "big") % self.space
+
+    def key_for(self, name: str) -> int:
+        """Hash an application key onto the ring."""
+        return self._hash(f"key:{name}")
+
+    # ------------------------------------------------------------------
+    def _succ_of_id(self, ring_id: int) -> int:
+        """Node index owning ``ring_id`` (first node at or after it)."""
+        lo, hi = 0, len(self.ring_order)
+        # binary search over sorted node ids
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.node_id[self.ring_order[mid]] < ring_id:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self.ring_order[lo % len(self.ring_order)]
+
+    def _build_tables(self, idx: int) -> None:
+        nid = self.node_id[idx]
+        pos = self._pos[idx]
+        order = self.ring_order
+        self.successors[idx] = [
+            order[(pos + k) % len(order)]
+            for k in range(1, self.config.successor_list + 1)
+        ]
+        fingers: List[int] = []
+        for i in range(self.config.id_bits):
+            target = (nid + (1 << i)) % self.space
+            f = self._succ_of_id(target)
+            if f != idx and (not fingers or fingers[-1] != f):
+                fingers.append(f)
+        self.fingers[idx] = fingers
+
+    def owner_of(self, key: int) -> int:
+        """Ground truth: node index responsible for ``key``."""
+        return self._succ_of_id(key % self.space)
+
+    # ------------------------------------------------------------------
+    def _in_range(self, x: int, a: int, b: int) -> bool:
+        """x in (a, b] on the ring."""
+        if a < b:
+            return a < x <= b
+        return x > a or x <= b
+
+    def closest_preceding(self, idx: int, key: int) -> Optional[int]:
+        """The finger of ``idx`` closest before ``key`` (Chord routing)."""
+        nid = self.node_id[idx]
+        best: Optional[int] = None
+        for f in self.fingers[idx]:
+            fid = self.node_id[f]
+            if self._in_range(fid, nid, (key - 1) % self.space):
+                if best is None or self._in_range(
+                    self.node_id[best], nid, fid
+                ):
+                    best = f
+        return best if best is not None else self.successors[idx][0]
+
+    # ------------------------------------------------------------------
+    def lookup(self, origin: int, key: int, now_s: float) -> LookupResult:
+        """Route one lookup recursively from ``origin`` toward ``key``.
+
+        Every relay consumes processing at the relay node; an exhausted
+        relay drops the lookup (the DDoS mechanism).
+        """
+        if not (0 <= origin < self.config.n_nodes):
+            raise ProtocolError(f"unknown origin {origin}")
+        key %= self.space
+        self.lookups_routed += 1
+        path = [origin]
+        current = origin
+        max_hops = 2 * self.config.id_bits
+        for _ in range(max_hops):
+            if self._succ_of_id(key) == current:
+                # current itself owns the key (origin-owned keys, or the
+                # wrap-around case): answer locally.
+                return LookupResult(key, origin, current, len(path) - 1, path)
+            nid = self.node_id[current]
+            succ = self.successors[current][0]
+            if self._in_range(key, nid, self.node_id[succ]):
+                # the successor owns the key; it must process the request
+                self._count_link(current, succ)
+                if (current, succ) in self.blocked or not self.processing[
+                    succ
+                ].try_consume(now_s):
+                    self.lookups_dropped += 1
+                    return LookupResult(key, origin, None, len(path), path, succ)
+                path.append(succ)
+                return LookupResult(key, origin, succ, len(path) - 1, path)
+            nxt = self.closest_preceding(current, key)
+            if nxt == current:  # pragma: no cover - degenerate ring
+                break
+            self._count_link(current, nxt)
+            if (current, nxt) in self.blocked or not self.processing[nxt].try_consume(
+                now_s
+            ):
+                self.lookups_dropped += 1
+                return LookupResult(key, origin, None, len(path), path, nxt)
+            path.append(nxt)
+            current = nxt
+        self.lookups_dropped += 1
+        return LookupResult(key, origin, None, len(path), path, current)
+
+    def _count_link(self, src: int, dst: int) -> None:
+        self.link_counts[(src, dst)] = self.link_counts.get((src, dst), 0) + 1
+
+    def roll_minute(self) -> Dict[Tuple[int, int], int]:
+        """Snapshot and reset the per-link minute counters."""
+        snapshot = dict(self.link_counts)
+        self.link_counts.clear()
+        return snapshot

@@ -1,0 +1,132 @@
+"""DD-POLICE adapted to deterministic DHT routing.
+
+The unstructured defense needs a buddy group because a flooded query
+fans out to every neighbor and *forwarded* volume dwarfs issued volume.
+Chord routing is deterministic and single-path: each relayed lookup
+leaves on exactly one link, so a node's total outbound can exceed its
+total inbound only by what it *issued* -- the Single Indicator of
+Definition 2.2 with the (k-1) fan-out factor collapsed to 1.
+
+Concretely, for a hot link (src -> dst) the detector computes::
+
+    excess(src->dst) = lookups(src->dst) - sum_w lookups(w->src)
+
+A good relay has ``excess ~ 0`` no matter how much attack traffic it
+funnels (everything it sends was first received); an attack agent's
+excess is its entire flood. The inbound counts come from src's
+predecessor links -- the DHT analogue of the buddy group, shrunk to the
+links that can physically feed src.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from repro.errors import ConfigError
+from repro.metrics.errors import Judgment, JudgmentLog
+from repro.structured.chord import ChordRing
+
+
+@dataclass(frozen=True)
+class ChordPoliceConfig:
+    """Detector tunables (kept deliberately parallel to DDPoliceConfig)."""
+
+    #: Advertised legitimate per-node lookup rate (the DHT analogue of q).
+    normal_rate_qpm: float = 100.0
+    #: Warning level: links below this are never investigated.
+    warning_threshold_qpm: float = 500.0
+    #: Multiples of ``normal_rate_qpm`` of *excess* that convict.
+    cut_threshold: float = 5.0
+    #: Consecutive suspicious minutes before the link is cut.
+    patience_minutes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.normal_rate_qpm <= 0:
+            raise ConfigError("normal_rate_qpm must be positive")
+        if self.warning_threshold_qpm <= 0:
+            raise ConfigError("warning_threshold_qpm must be positive")
+        if self.cut_threshold <= 0:
+            raise ConfigError("cut_threshold must be positive")
+        if self.patience_minutes < 1:
+            raise ConfigError("patience_minutes must be >= 1")
+
+
+class ChordPolice:
+    """Per-minute issued-excess detector over the ring's link counters."""
+
+    def __init__(
+        self,
+        ring: ChordRing,
+        config: ChordPoliceConfig = ChordPoliceConfig(),
+        *,
+        judgment_log: Optional[JudgmentLog] = None,
+    ) -> None:
+        self.ring = ring
+        self.config = config
+        self.judgments = judgment_log if judgment_log is not None else JudgmentLog()
+        self._suspicious_streak: Dict[Tuple[int, int], int] = {}
+        #: Links the defense has cut: the victim stops routing for the src.
+        self.cut_links: Set[Tuple[int, int]] = set()
+        self.links_cut = 0
+
+    def step(self, minute: float) -> int:
+        """Roll the ring's minute counters and judge every hot link.
+
+        Returns the number of links cut this minute.
+        """
+        counts = self.ring.roll_minute()
+        inbound_total: Dict[int, float] = {}
+        for (src, dst), c in counts.items():
+            inbound_total[dst] = inbound_total.get(dst, 0.0) + c
+
+        convict_level = self.config.cut_threshold * self.config.normal_rate_qpm
+        cut_now = 0
+        hot = set()
+        for (src, dst), count in counts.items():
+            if count <= self.config.warning_threshold_qpm:
+                continue
+            # Definition 2.2, single-path form: outbound minus everything
+            # the suspect received (its legitimate forwarding budget),
+            # minus the advertised normal issue rate.
+            excess = count - inbound_total.get(src, 0.0) - self.config.normal_rate_qpm
+            if excess <= convict_level:
+                continue
+            hot.add((src, dst))
+            streak = self._suspicious_streak.get((src, dst), 0) + 1
+            self._suspicious_streak[(src, dst)] = streak
+            if streak >= self.config.patience_minutes and (src, dst) not in self.cut_links:
+                self.cut_links.add((src, dst))
+                self.links_cut += 1
+                cut_now += 1
+                self.judgments.record(
+                    Judgment(
+                        time=minute,
+                        observer=dst,
+                        suspect=src,
+                        g_value=excess / self.config.normal_rate_qpm,
+                        s_value=float("nan"),
+                        disconnected=True,
+                        reason="dht_issued_excess",
+                    )
+                )
+        # streaks reset for links that went quiet
+        for link in list(self._suspicious_streak):
+            if link not in hot:
+                del self._suspicious_streak[link]
+        self._apply_cuts()
+        return cut_now
+
+    def _apply_cuts(self) -> None:
+        """Make the victims refuse the cut senders' relays.
+
+        The receiver drops lookups arriving over a cut link instead of
+        relaying them (removing the sender from routing tables would only
+        make it reroute over longer successor chains, amplifying the
+        flood).
+        """
+        self.ring.blocked |= self.cut_links
+
+    def suspected_nodes(self) -> Set[int]:
+        """Nodes with at least one cut outbound link."""
+        return {src for src, _dst in self.cut_links}

@@ -1,0 +1,38 @@
+"""Unit tests for attacker reporting strategies (Section 3.4)."""
+
+import pytest
+
+from repro.attack.cheating import CheatStrategy, apply_cheat
+from repro.errors import ConfigError
+
+
+def test_honest_returns_truth():
+    assert apply_cheat(CheatStrategy.HONEST, 5000, 100) == (5000, 100)
+
+
+def test_inflate_raises_outgoing_only():
+    out, inc = apply_cheat(CheatStrategy.INFLATE, 500, 100, inflate_factor=10.0)
+    assert out == 5000
+    assert inc == 100
+
+
+def test_deflate_lowers_outgoing_only():
+    """Section 3.4 case 2: 'peer j sent 5,000 queries to peer m in the
+    past minute, but it reports ... only 100'."""
+    out, inc = apply_cheat(CheatStrategy.DEFLATE, 5000, 100, deflate_factor=0.02)
+    assert out == 100
+    assert inc == 100
+
+
+def test_silent_returns_none():
+    assert apply_cheat(CheatStrategy.SILENT, 5000, 100) is None
+
+
+def test_negative_counts_rejected():
+    with pytest.raises(ConfigError):
+        apply_cheat(CheatStrategy.HONEST, -1, 0)
+
+
+def test_zero_counts_stable():
+    for strategy in (CheatStrategy.HONEST, CheatStrategy.INFLATE, CheatStrategy.DEFLATE):
+        assert apply_cheat(strategy, 0, 0) == (0, 0)

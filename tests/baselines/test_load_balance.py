@@ -1,0 +1,73 @@
+"""Unit tests for the Daswani-Garcia-Molina load-balancing baseline."""
+
+import pytest
+
+from repro.attack.agent import AgentConfig, DDoSAgent
+from repro.baselines.load_balance import (
+    LoadBalancingConfig,
+    LoadBalancingDefense,
+    deploy_load_balancing,
+)
+from repro.errors import ConfigError
+from repro.overlay.ids import PeerId
+from tests.conftest import make_network
+
+TREE = {0: {1, 2, 3}, 1: {4, 5}, 2: {6, 7}, 3: {8, 9}}
+
+
+def test_fair_share_caps_attack_amplification():
+    sim1, net1 = make_network(TREE, seed=1)
+    agent1 = DDoSAgent(sim1, net1, PeerId(0), AgentConfig(nominal_rate_qpm=6000.0))
+    agent1.start()
+    sim1.run(until=120.0)
+    undefended = net1.stats.query_messages
+
+    sim2, net2 = make_network(TREE, seed=1)
+    deploy_load_balancing(net2, LoadBalancingConfig(capacity_qpm=600.0))
+    agent2 = DDoSAgent(sim2, net2, PeerId(0), AgentConfig(nominal_rate_qpm=6000.0))
+    agent2.start()
+    sim2.run(until=120.0)
+    assert net2.stats.query_messages < undefended * 0.6
+
+
+def test_no_peer_disconnected():
+    """Survival approach: nobody is cut, traffic is shed."""
+    sim, net = make_network(TREE, seed=2)
+    defenses = deploy_load_balancing(net, LoadBalancingConfig(capacity_qpm=600.0))
+    agent = DDoSAgent(sim, net, PeerId(0), AgentConfig(nominal_rate_qpm=6000.0))
+    agent.start()
+    sim.run(until=120.0)
+    assert net.neighbors_of(PeerId(0))  # attacker still connected
+    assert any(d.queries_shed > 0 for d in defenses.values())
+
+
+def test_light_traffic_unaffected():
+    sim, net = make_network(TREE, seed=3)
+    defenses = deploy_load_balancing(net, LoadBalancingConfig(capacity_qpm=10_000.0))
+    from repro.workload.generator import QueryWorkload, WorkloadConfig
+
+    wl = QueryWorkload(sim, net, WorkloadConfig(queries_per_minute=2.0, seed=3))
+    wl.start()
+    sim.run(until=180.0)
+    assert all(d.queries_shed == 0 for d in defenses.values())
+
+
+def test_share_resets_each_minute():
+    sim, net = make_network({0: {1}, 1: {2}}, seed=4)
+    defense = LoadBalancingDefense(
+        net, net.peers[PeerId(1)], LoadBalancingConfig(capacity_qpm=120.0)
+    )
+    agent = DDoSAgent(sim, net, PeerId(0), AgentConfig(nominal_rate_qpm=600.0))
+    agent.start()
+    sim.run(until=180.0)
+    # sheds every minute but peer 2 keeps receiving the fair share
+    assert defense.queries_shed > 0
+    received = net.peers[PeerId(2)].counters.queries_received
+    assert received > 100  # ~57/min fair share x 3 minutes
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        LoadBalancingConfig(capacity_qpm=0)
+    with pytest.raises(ConfigError):
+        LoadBalancingConfig(utilization_target=1.5)

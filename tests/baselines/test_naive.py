@@ -1,0 +1,58 @@
+"""Unit tests for the naive rate-cutoff baseline."""
+
+import pytest
+
+from repro.attack.agent import AgentConfig, DDoSAgent
+from repro.baselines.naive import NaiveCutoffConfig, NaiveCutoffDefense, deploy_naive
+from repro.errors import ConfigError
+from repro.overlay.ids import PeerId
+from tests.conftest import make_network
+
+TREE = {0: {1, 2, 3}, 1: {4, 5}, 2: {6, 7}, 3: {8, 9}}
+
+
+def test_attacker_cut_by_rate_alone():
+    sim, net = make_network(TREE, seed=1)
+    defenses = deploy_naive(net)
+    agent = DDoSAgent(sim, net, PeerId(0), AgentConfig(nominal_rate_qpm=3000.0))
+    agent.start()
+    sim.run(until=130.0)
+    log = defenses[PeerId(1)].judgments
+    assert PeerId(0) in log.disconnected_suspects()
+
+
+def test_good_forwarders_also_cut():
+    """The Section 2.1 danger: forwarding peers look like attackers."""
+    sim, net = make_network(TREE, seed=2)
+    defenses = deploy_naive(net)
+    agent = DDoSAgent(sim, net, PeerId(0), AgentConfig(nominal_rate_qpm=6000.0))
+    agent.start()
+    sim.run(until=130.0)
+    cut = defenses[PeerId(1)].judgments.disconnected_suspects()
+    good_cut = cut - {PeerId(0)}
+    assert good_cut, "naive defense should wrongly cut forwarding peers"
+
+
+def test_quiet_network_untouched():
+    sim, net = make_network(TREE, seed=3)
+    defenses = deploy_naive(net)
+    from repro.workload.generator import QueryWorkload, WorkloadConfig
+
+    wl = QueryWorkload(sim, net, WorkloadConfig(queries_per_minute=2.0, seed=3))
+    wl.start()
+    sim.run(until=240.0)
+    assert defenses[PeerId(0)].judgments.disconnected_suspects() == set()
+
+
+def test_threshold_boundary_strict():
+    sim, net = make_network({0: {1}}, seed=4)
+    defense = NaiveCutoffDefense(net, net.peers[PeerId(1)], NaiveCutoffConfig(cutoff_qpm=10.0))
+    for i in range(10):  # exactly 10, not above
+        net.peers[PeerId(0)].issue_query(("nosuch", f"id90{i}"))
+    sim.run(until=65.0)
+    assert defense.disconnects_issued == 0
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        NaiveCutoffConfig(cutoff_qpm=0)

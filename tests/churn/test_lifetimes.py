@@ -1,0 +1,71 @@
+"""Unit tests for session-lifetime distributions."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.churn.lifetimes import LifetimeConfig, LifetimeDistribution
+from repro.errors import ConfigError
+
+
+def sampler(**kw):
+    return LifetimeDistribution(LifetimeConfig(**kw), random.Random(1))
+
+
+def test_lognormal_mean_matches_config():
+    dist = sampler(family="lognormal", mean_s=600.0)
+    xs = dist.sample_many(20_000)
+    assert statistics.mean(xs) == pytest.approx(600.0, rel=0.05)
+
+
+def test_lognormal_variance_solver():
+    dist = sampler(family="lognormal", mean_s=600.0, variance=90_000.0)
+    xs = dist.sample_many(40_000)
+    assert statistics.mean(xs) == pytest.approx(600.0, rel=0.05)
+    assert statistics.pstdev(xs) == pytest.approx(300.0, rel=0.1)
+
+
+def test_paper_default_variance_rule():
+    """variance = mean/2 read in minutes: 10 min mean -> 5 min^2 var."""
+    cfg = LifetimeConfig()
+    assert cfg.mean_s == 600.0
+    assert cfg.variance == pytest.approx(5.0 * 3600.0)
+
+
+def test_exponential_mean():
+    dist = sampler(family="exponential", mean_s=600.0)
+    xs = dist.sample_many(20_000)
+    assert statistics.mean(xs) == pytest.approx(600.0, rel=0.05)
+
+
+def test_fixed_family():
+    dist = sampler(family="fixed", mean_s=123.0)
+    assert dist.sample_many(5) == [123.0] * 5
+
+
+def test_min_lifetime_floor():
+    dist = sampler(family="exponential", mean_s=1.0, min_lifetime_s=0.5)
+    assert all(x >= 0.5 for x in dist.sample_many(1000))
+
+
+def test_samples_positive():
+    dist = sampler()
+    assert all(x > 0 for x in dist.sample_many(1000))
+
+
+def test_reproducible():
+    a = LifetimeDistribution(LifetimeConfig(), random.Random(7)).sample_many(10)
+    b = LifetimeDistribution(LifetimeConfig(), random.Random(7)).sample_many(10)
+    assert a == b
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        LifetimeConfig(family="weibull")
+    with pytest.raises(ConfigError):
+        LifetimeConfig(mean_s=0)
+    with pytest.raises(ConfigError):
+        LifetimeConfig(variance=-1.0)
+    with pytest.raises(ConfigError):
+        sampler().sample_many(-1)

@@ -1,0 +1,106 @@
+"""Integration tests for the DES churn process."""
+
+import pytest
+
+from repro.churn.lifetimes import LifetimeConfig
+from repro.churn.process import ChurnConfig, ChurnProcess
+from repro.errors import ConfigError
+from repro.overlay.ids import PeerId
+from tests.conftest import make_network
+
+FAST_CHURN = ChurnConfig(
+    lifetime=LifetimeConfig(family="exponential", mean_s=30.0),
+    offtime=LifetimeConfig(family="exponential", mean_s=30.0),
+    enabled=True,
+    seed=1,
+)
+
+
+def grid(n):
+    return {i: {(i + 1) % n, (i + 3) % n} for i in range(n)}
+
+
+def make(n=30, config=FAST_CHURN):
+    sim, net = make_network(grid(n), seed=1)
+    churn = ChurnProcess(sim, net, config)
+    return sim, net, churn
+
+
+def test_peers_leave_and_rejoin():
+    sim, net, churn = make()
+    churn.start()
+    sim.run(until=300.0)
+    assert churn.leaves > 0
+    assert churn.joins > 0
+
+
+def test_leaving_peer_loses_connections():
+    sim, net, churn = make()
+    events = []
+    churn.leave_listeners.append(events.append)
+    churn.start()
+    sim.run(until=120.0)
+    assert events
+    for pid in events:
+        peer = net.peers[pid]
+        if not peer.online:
+            assert peer.neighbors == set()
+
+
+def test_rejoining_peer_reconnects():
+    sim, net, churn = make()
+    joined = []
+    churn.join_listeners.append(joined.append)
+    churn.start()
+    sim.run(until=400.0)
+    assert joined
+    online_joined = [p for p in joined if net.peers[p].online]
+    reconnected = [p for p in online_joined if net.peers[p].neighbors]
+    assert len(reconnected) >= len(online_joined) // 2
+
+
+def test_population_stays_reasonable():
+    sim, net, churn = make(n=60)
+    churn.start()
+    sim.run(until=600.0)
+    assert 0.2 < churn.online_fraction() < 0.9
+
+
+def test_pinned_peers_never_leave():
+    cfg = ChurnConfig(
+        lifetime=LifetimeConfig(family="exponential", mean_s=5.0),
+        offtime=LifetimeConfig(family="exponential", mean_s=1000.0),
+        enabled=True,
+        seed=2,
+    )
+    sim, net = make_network(grid(20), seed=2)
+    pinned = {PeerId(0), PeerId(1)}
+    churn = ChurnProcess(sim, net, cfg, pinned=pinned)
+    churn.start()
+    sim.run(until=300.0)
+    assert net.peers[PeerId(0)].online
+    assert net.peers[PeerId(1)].online
+
+
+def test_disabled_churn_is_inert():
+    sim, net, churn = make(config=ChurnConfig(enabled=False))
+    churn.start()
+    sim.run(until=100.0)
+    assert churn.leaves == 0
+    assert all(p.online for p in net.peers.values())
+
+
+def test_content_relocated_on_leave():
+    sim, net, churn = make()
+    churn.start()
+    sim.run(until=200.0)
+    # all replicas remain hosted on known peers
+    for obj, holders in enumerate(net.content.replica_holders):
+        assert len(holders) >= 1
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        ChurnConfig(join_degree_min=0)
+    with pytest.raises(ConfigError):
+        ChurnConfig(join_degree_min=5, join_degree_max=4)

@@ -1,0 +1,71 @@
+"""Unit tests for buddy groups (Section 3.1, Figure 7)."""
+
+import pytest
+
+from repro.core.buddy import BuddyGroup, buddy_group_of
+from repro.errors import ConfigError
+
+
+def neighbors_oracle(adjacency):
+    return lambda p: adjacency.get(p, set())
+
+
+def test_bg1_is_direct_neighbors():
+    """Figure 7: BG1-j = {A, B, C, D}, the direct neighbors of j."""
+    adjacency = {"j": {"A", "B", "C", "D"}}
+    group = buddy_group_of("j", neighbors_oracle(adjacency))
+    assert group.members == frozenset({"A", "B", "C", "D"})
+    assert group.suspect == "j"
+    assert group.radius == 1
+
+
+def test_bg2_extends_one_more_hop():
+    adjacency = {
+        "j": {"A", "B"},
+        "A": {"j", "x"},
+        "B": {"j", "y"},
+    }
+    group = buddy_group_of("j", neighbors_oracle(adjacency), radius=2)
+    assert group.members == frozenset({"A", "B", "x", "y"})
+
+
+def test_bgr_never_contains_suspect():
+    adjacency = {"j": {"A"}, "A": {"j"}}
+    group = buddy_group_of("j", neighbors_oracle(adjacency), radius=3)
+    assert "j" not in group.members
+
+
+def test_peers_to_contact_excludes_observer():
+    group = BuddyGroup(suspect="j", members=frozenset({"A", "B", "C"}))
+    assert group.peers_to_contact("A") == {"B", "C"}
+
+
+def test_peers_to_contact_requires_membership():
+    group = BuddyGroup(suspect="j", members=frozenset({"A"}))
+    with pytest.raises(ConfigError):
+        group.peers_to_contact("Z")
+
+
+def test_refresh_updates_members_and_time():
+    group = BuddyGroup(suspect="j", members=frozenset({"A"}), formed_at=0.0)
+    refreshed = group.refresh({"B", "C", "j"}, now=10.0)
+    assert refreshed.members == frozenset({"B", "C"})
+    assert refreshed.formed_at == 10.0
+    assert refreshed.suspect == "j"
+
+
+def test_suspect_in_members_rejected():
+    with pytest.raises(ConfigError):
+        BuddyGroup(suspect="j", members=frozenset({"j", "A"}))
+
+
+def test_radius_validation():
+    with pytest.raises(ConfigError):
+        buddy_group_of("j", lambda p: set(), radius=0)
+    with pytest.raises(ConfigError):
+        BuddyGroup(suspect="j", members=frozenset(), radius=0)
+
+
+def test_empty_oracle_gives_empty_group():
+    group = buddy_group_of("j", lambda p: set())
+    assert group.size == 0

@@ -1,0 +1,133 @@
+"""Unit tests for Definitions 2.1-2.3 (the heart of DD-POLICE)."""
+
+import pytest
+
+from repro.core.indicators import (
+    NeighborReport,
+    general_indicator,
+    indicators_from_reports,
+    is_bad_peer,
+    single_indicator,
+)
+from repro.errors import ConfigError
+
+
+def figure2_counts(q0, q1, q2, q3):
+    """The Figure 2 star: j issues q0, receives q1/q2/q3 from neighbors
+    1/2/3, forwards everything (no duplicates). Returns (sent_by_j,
+    received_by_j) ordered by neighbor."""
+    sent = [q0 + q2 + q3, q0 + q1 + q3, q0 + q1 + q2]
+    received = [q1, q2, q3]
+    return sent, received
+
+
+def test_figure2_general_indicator_equals_q0_over_q():
+    """Worked example from Section 2.2: g(j,t) = q0/q exactly."""
+    q = 10.0
+    for q0 in (0, 5, 100, 20_000):
+        sent, received = figure2_counts(q0, 30, 40, 50)
+        assert general_indicator(sent, received, q) == pytest.approx(q0 / q)
+
+
+def test_figure2_single_indicator_equals_q0_over_q():
+    q = 10.0
+    q0, q1, q2, q3 = 70, 30, 40, 50
+    # i is neighbor 1: Q_ji = q0+q2+q3; others into j: q2, q3
+    s = single_indicator(q0 + q2 + q3, [q2, q3], q)
+    assert s == pytest.approx(q0 / q)
+
+
+def test_good_forwarder_with_losses_scores_nonpositive():
+    """A peer that forwards *less* than it receives (drops, dedup) must
+    never look worse than a faithful forwarder."""
+    q = 10.0
+    q1, q2, q3 = 300, 400, 500
+    # forwards only 80% of traffic, issues nothing
+    sent = [0.8 * (q2 + q3), 0.8 * (q1 + q3), 0.8 * (q1 + q2)]
+    assert general_indicator(sent, [q1, q2, q3], q) < 0
+
+
+def test_attacker_rate_dominates_indicator():
+    """g ~= Q_d / (q*k) for an attacker (Section 2.2 analysis)."""
+    q, k, qd = 10.0, 4, 20_000
+    sent = [qd / k] * k  # distinct queries split across neighbors
+    received = [0.0] * k
+    g = general_indicator(sent, received, q)
+    assert g == pytest.approx(qd / (q * k))
+    assert g > 100
+
+
+def test_general_indicator_validation():
+    with pytest.raises(ConfigError):
+        general_indicator([1.0], [1.0], 0.0)
+    with pytest.raises(ConfigError):
+        general_indicator([1.0, 2.0], [1.0], 10.0)
+    with pytest.raises(ConfigError):
+        general_indicator([], [], 10.0)
+
+
+def test_single_indicator_validation():
+    with pytest.raises(ConfigError):
+        single_indicator(1.0, [], 0.0)
+    with pytest.raises(ConfigError):
+        single_indicator(-1.0, [], 10.0)
+
+
+def test_is_bad_peer_definition_2_3():
+    assert is_bad_peer(1.5, [0.0])  # g over threshold
+    assert is_bad_peer(0.0, [0.5, 1.2])  # any s over threshold
+    assert not is_bad_peer(1.0, [1.0])  # strict inequality
+    assert not is_bad_peer(-5.0, [])
+
+
+def test_is_bad_peer_custom_threshold():
+    assert not is_bad_peer(4.0, [], threshold=5.0)
+    assert is_bad_peer(6.0, [], threshold=5.0)
+    with pytest.raises(ConfigError):
+        is_bad_peer(1.0, [], threshold=0.0)
+
+
+def test_indicators_from_reports_matches_figure2():
+    q = 10.0
+    q0, q1, q2, q3 = 200, 30, 40, 50
+    sent, received = figure2_counts(q0, q1, q2, q3)
+    # observer is neighbor index 0; members 2 and 3 report
+    reports = {
+        2: NeighborReport(member=2, outgoing=q2, incoming=sent[1]),
+        3: NeighborReport(member=3, outgoing=q3, incoming=sent[2]),
+    }
+    g, s = indicators_from_reports(
+        observer=1,
+        own_out_to_j=q1,
+        own_in_from_j=sent[0],
+        reports=reports,
+        q=q,
+    )
+    assert g == pytest.approx(q0 / q)
+    assert s == pytest.approx(q0 / q)
+
+
+def test_missing_report_treated_as_zero():
+    """Section 3.4: silence means (0, 0) -- and that inflates g."""
+    q = 10.0
+    reports_full = {
+        2: NeighborReport(member=2, outgoing=100, incoming=100),
+        3: NeighborReport(member=3, outgoing=100, incoming=100),
+    }
+    reports_missing = {2: reports_full[2], 3: None}
+    g_full, _ = indicators_from_reports(1, 100, 300, reports_full, q)
+    g_missing, _ = indicators_from_reports(1, 100, 300, reports_missing, q)
+    # refusing to report removes inflow evidence -> higher g (worse for j)
+    assert g_missing > g_full
+
+
+def test_observer_cannot_be_in_reports():
+    with pytest.raises(ConfigError):
+        indicators_from_reports(
+            1, 0, 0, {1: NeighborReport(member=1, outgoing=0, incoming=0)}, 10.0
+        )
+
+
+def test_report_validation():
+    with pytest.raises(ConfigError):
+        NeighborReport(member=1, outgoing=-1, incoming=0)

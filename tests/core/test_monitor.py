@@ -1,0 +1,67 @@
+"""Unit tests for the traffic monitor (Section 3.2)."""
+
+import pytest
+
+from repro.core.monitor import TrafficMonitor
+from repro.errors import ConfigError
+
+
+def test_latest_window_counts():
+    mon = TrafficMonitor()
+    mon.record_window(1, {"a": 10, "b": 5}, {"a": 3})
+    assert mon.out_query("a") == 10
+    assert mon.in_query("a") == 3
+    assert mon.out_query("b") == 5
+    assert mon.in_query("b") == 0
+
+
+def test_report_pair_is_table1_order():
+    mon = TrafficMonitor()
+    mon.record_window(1, {"a": 7}, {"a": 9})
+    assert mon.report_pair("a") == (7, 9)
+
+
+def test_unknown_neighbor_reads_zero():
+    mon = TrafficMonitor()
+    assert mon.out_query("ghost") == 0
+    assert mon.report_pair("ghost") == (0, 0)
+    assert mon.latest("ghost") is None
+
+
+def test_history_bounded():
+    mon = TrafficMonitor(history_minutes=3)
+    for minute in range(10):
+        mon.record_window(minute, {"a": minute}, {"a": minute})
+    hist = mon.history("a")
+    assert len(hist) == 3
+    assert [h.minute for h in hist] == [7, 8, 9]
+    assert mon.out_query("a") == 9
+
+
+def test_suspicious_neighbors_threshold():
+    mon = TrafficMonitor()
+    mon.record_window(1, {}, {"quiet": 400, "loud": 600, "edge": 500})
+    suspects = mon.suspicious_neighbors(500.0)
+    assert suspects == ["loud"]  # strictly greater than
+
+
+def test_suspicion_uses_latest_window_only():
+    mon = TrafficMonitor()
+    mon.record_window(1, {}, {"a": 9000})
+    mon.record_window(2, {}, {"a": 10})
+    assert mon.suspicious_neighbors(500.0) == []
+
+
+def test_forget_removes_history():
+    mon = TrafficMonitor()
+    mon.record_window(1, {"a": 1}, {"a": 1})
+    mon.forget("a")
+    assert mon.history("a") == []
+    assert "a" not in mon.tracked_neighbors()
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        TrafficMonitor(history_minutes=0)
+    with pytest.raises(ConfigError):
+        TrafficMonitor().suspicious_neighbors(0.0)

@@ -1,0 +1,71 @@
+"""Tests for buddy-group liveness pings and lying-list detection."""
+
+from repro.core.config import DDPoliceConfig
+from repro.core.police import deploy_ddpolice
+from repro.overlay.ids import PeerId
+from repro.overlay.message import NeighborListMessage
+from tests.conftest import make_network
+
+TOPOLOGY = {0: {1, 2, 3}, 1: {4, 5}, 2: {6, 7}, 3: {8, 9}}
+FAST = DDPoliceConfig(exchange_period_s=20.0, liveness_ping_period_s=15.0)
+
+
+def test_pings_flow_and_pongs_return():
+    sim, net = make_network(TOPOLOGY, seed=1)
+    engines = deploy_ddpolice(net, FAST)
+    sim.run(until=120.0)
+    e1 = engines[PeerId(1)]
+    assert e1.pings_sent > 0
+    assert e1.pongs_received > 0
+
+
+def test_dead_member_evicted_from_directory():
+    sim, net = make_network(TOPOLOGY, seed=2)
+    engines = deploy_ddpolice(net, FAST)
+    sim.run(until=40.0)  # lists exchanged, directory warm
+    e1 = engines[PeerId(1)]
+    assert e1.directory.get(PeerId(0)) is not None
+    # peer 0 silently disappears (crash: no Bye, no churn notification)
+    net.peers[PeerId(0)].go_offline()
+    sim.run(until=160.0)  # several missed ping rounds
+    assert e1.directory.get(PeerId(0)) is None
+
+
+def test_live_members_retained():
+    sim, net = make_network(TOPOLOGY, seed=3)
+    engines = deploy_ddpolice(net, FAST)
+    sim.run(until=200.0)
+    e1 = engines[PeerId(1)]
+    assert e1.directory.get(PeerId(0)) is not None
+
+
+def test_lying_neighbor_list_earns_strikes_and_disconnect():
+    """Section 3.1: inconsistent neighbor-list claims get the liar cut.
+
+    The liar hides its real neighbors 2 and 3 and invents 9. Honest
+    lists from 2, 3 (who claim the liar) and from 9 (who does not)
+    contradict the fake, strikes accumulate, and peer 1 disconnects it.
+    """
+    sim, net = make_network(TOPOLOGY, seed=4)
+    engines = deploy_ddpolice(net, FAST)
+    liar = PeerId(0)
+    engines[liar].stop()  # the liar's honest engine must not out-shout it
+    victim_observer = engines[PeerId(1)]
+
+    def send_lie():
+        if liar in net.peers[liar].neighbors or PeerId(1) in net.peers[liar].neighbors:
+            fake = NeighborListMessage(
+                guid=net.guid_factory.new(),
+                ttl=1,
+                hops=0,
+                sender=liar,
+                neighbors=frozenset({PeerId(1), PeerId(9)}),
+            )
+            net.peers[liar].send_control(PeerId(1), fake)
+
+    for delay in (30.0, 50.0, 70.0, 90.0, 110.0):
+        sim.schedule_in(delay, send_lie)
+    sim.run(until=240.0)
+    assert liar not in net.neighbors_of(PeerId(1))
+    cut = victim_observer.judgments.disconnect_events()
+    assert any(j.suspect == liar and j.reason == "inconsistent_list" for j in cut)

@@ -1,0 +1,47 @@
+"""Unit tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_unknown_experiment_rejected(capsys):
+    assert main(["fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_fig5_runs(capsys):
+    assert main(["fig5", "--scale", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+    assert "15400" in out or "15,400" in out
+
+
+def test_fig6_runs(capsys):
+    assert main(["fig6", "--scale", "smoke"]) == 0
+    assert "drop rate" in capsys.readouterr().out
+
+
+def test_multiple_experiments(capsys):
+    assert main(["fig5", "fig6", "--scale", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out and "Figure 6" in out
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["fig5"])
+    assert args.scale == "bench"
+    assert args.experiments == ["fig5"]
+
+
+@pytest.mark.slow
+def test_fig12_smoke(capsys):
+    assert main(["fig12", "--scale", "smoke"]) == 0
+    assert "damage rate" in capsys.readouterr().out

@@ -1,0 +1,100 @@
+"""Smoke-level tests for the per-figure experiment functions.
+
+These use the smoke scale; the shape assertions mirror the paper's
+qualitative claims, while the benchmarks print the full tables.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.scenarios import smoke_scale
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    scale = smoke_scale()
+    # widely separated agent counts: smoke scale (300 peers) is noisy
+    return figures.agent_sweep(scale, seed=3, agent_counts=[1, 8])
+
+
+def test_fig5_shape():
+    pts = figures.fig5_processed_vs_sent()
+    assert pts[0] == (1000.0, 1000.0)
+    processed = [y for _, y in pts]
+    assert max(processed) < 16_000  # capacity ceiling
+
+
+def test_fig6_shape():
+    pts = figures.fig6_drop_rate_vs_density()
+    assert pts[0][1] == 0.0
+    assert pts[-1][1] == pytest.approx(47.0, abs=1.5)
+
+
+def test_fig9_traffic_ordering(sweep):
+    rows = figures.fig9_traffic_cost(sweep)
+    for _, attack, defended, baseline in rows:
+        assert attack > baseline  # attack inflates traffic
+        assert defended < attack  # DD-POLICE reduces it
+
+
+def test_fig10_response_ordering(sweep):
+    rows = figures.fig10_response_time(sweep)
+    for _, attack, defended, baseline in rows:
+        # smoke scale: congestion delay is muted (bandwidth-driven
+        # collapse), so only require non-degradation ordering
+        assert attack > baseline * 0.9
+
+
+def test_fig11_success_ordering(sweep):
+    rows = figures.fig11_success_rate(sweep)
+    for _, attack, defended, baseline in rows:
+        assert attack < baseline  # attack hurts success
+        assert defended > attack  # DD-POLICE recovers
+
+
+def test_fig11_attack_monotone(sweep):
+    rows = figures.fig11_success_rate(sweep)
+    assert rows[-1][1] < rows[0][1]  # more agents, less success
+
+
+def test_fig12_timelines():
+    scale = smoke_scale()
+    tls = figures.damage_timelines(
+        scale, cut_thresholds=(3.0, 7.0), minutes=scale.sim_minutes, seed=4
+    )
+    assert [t.label for t in tls] == ["no DD-POLICE", "DD-POLICE-3", "DD-POLICE-7"]
+    undefended = tls[0]
+    pre_attack = [d for m, d in zip(undefended.minutes, undefended.damage_pct)
+                  if m < scale.attack_start_min]
+    assert all(d == 0.0 for d in pre_attack)
+    post = [d for m, d in zip(undefended.minutes, undefended.damage_pct)
+            if m >= scale.attack_start_min + 1]
+    assert max(post) > 10.0  # the attack does damage
+    # DD-POLICE's tail damage is below the undefended tail
+    for tl in tls[1:]:
+        assert sum(tl.damage_pct[-4:]) < sum(undefended.damage_pct[-4:])
+
+
+def test_fig13_fig14_rows():
+    scale = smoke_scale()
+    rows = figures.cut_threshold_sweep(
+        scale, cut_thresholds=(3.0, 7.0), minutes=scale.sim_minutes, seed=5
+    )
+    assert [r.cut_threshold for r in rows] == [3.0, 7.0]
+    for r in rows:
+        assert r.false_judgment == r.false_negative + r.false_positive
+        assert r.stabilized_damage_pct >= 0
+    errors = figures.fig13_errors(rows)
+    assert errors[0][0] == 3.0
+    recovery = figures.fig14_recovery(rows)
+    assert len(recovery) == 2
+
+
+def test_exchange_frequency_rows():
+    scale = smoke_scale()
+    rows = figures.exchange_frequency_study(
+        scale, periods_min=(1, 4), minutes=scale.sim_minutes, seed=6
+    )
+    labels = [r.policy for r in rows]
+    assert labels == ["periodic-1min", "periodic-4min", "event-driven"]
+    assert all(r.control_overhead_kqpm >= 0 for r in rows)

@@ -1,0 +1,59 @@
+"""Unit tests for experiment-result persistence."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.figures import CutThresholdRow
+from repro.experiments.io import load_records, load_rows, save_records, save_rows
+from repro.fluid.model import FluidConfig, FluidSimulation
+
+
+def test_minute_rows_roundtrip(tmp_path):
+    sim = FluidSimulation(FluidConfig(n=200, seed=2, churn_warmup_min=2))
+    rows = sim.run(3)
+    path = save_rows(tmp_path / "run.json", rows)
+    loaded = load_rows(path)
+    assert loaded == rows
+
+
+def test_figure_records_roundtrip(tmp_path):
+    records = [
+        CutThresholdRow(
+            cut_threshold=5.0,
+            false_negative=10,
+            false_positive=1,
+            false_judgment=11,
+            damage_recovery_min=2.0,
+            stabilized_damage_pct=4.5,
+        ),
+        CutThresholdRow(
+            cut_threshold=7.0,
+            false_negative=8,
+            false_positive=2,
+            false_judgment=10,
+            damage_recovery_min=None,
+            stabilized_damage_pct=3.2,
+        ),
+    ]
+    path = save_records(tmp_path / "ct.json", records, kind="ct-rows")
+    loaded = load_records(path, CutThresholdRow, kind="ct-rows")
+    assert loaded == records
+
+
+def test_kind_mismatch_rejected(tmp_path):
+    sim = FluidSimulation(FluidConfig(n=200, seed=2, churn_warmup_min=2))
+    path = save_rows(tmp_path / "run.json", sim.run(2))
+    with pytest.raises(ConfigError):
+        load_records(path, CutThresholdRow, kind="ct-rows")
+
+
+def test_non_dataclass_rejected(tmp_path):
+    with pytest.raises(ConfigError):
+        save_records(tmp_path / "x.json", [{"not": "a dataclass"}], kind="x")
+
+
+def test_format_version_checked(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"format": 99, "kind": "minute-rows", "records": []}')
+    with pytest.raises(ConfigError):
+        load_rows(path)

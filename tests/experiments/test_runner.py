@@ -1,0 +1,122 @@
+"""Integration tests for the DES experiment runner."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.runner import DESConfig, run_des_experiment
+from repro.overlay.topology import TopologyConfig
+from repro.workload.generator import WorkloadConfig
+
+
+from repro.core.config import DDPoliceConfig
+
+# Tree topology (ba_m=1): attack queries cannot echo back to their
+# issuer, so detection semantics are clean at this tiny scale (see
+# tests/core/test_police.py::test_cyclic_echo_neutralizes_indicator).
+SMALL = DESConfig(
+    n=40,
+    duration_s=240.0,
+    seed=1,
+    topology=TopologyConfig(n=40, ba_m=1, seed=1),
+    workload=WorkloadConfig(queries_per_minute=2.0, seed=1),
+    police=DDPoliceConfig(exchange_period_s=30.0),
+)
+
+
+def test_clean_run_mostly_succeeds():
+    run = run_des_experiment(SMALL)
+    assert run.success_rate > 0.5
+    assert run.mean_response_time is not None and run.mean_response_time > 0
+    assert run.total_messages > 0
+
+
+def test_attack_raises_traffic():
+    from dataclasses import replace
+
+    clean = run_des_experiment(SMALL)
+    attacked = run_des_experiment(
+        replace(SMALL, num_agents=2, attack_rate_qpm=1200.0)
+    )
+    assert attacked.total_messages > 2 * clean.total_messages
+    assert attacked.bad_peers and len(attacked.bad_peers) == 2
+
+
+def test_ddpolice_cuts_attackers():
+    from dataclasses import replace
+
+    run = run_des_experiment(
+        replace(SMALL, num_agents=2, attack_rate_qpm=3000.0, defense="ddpolice")
+    )
+    errors = run.error_counts()
+    assert errors.false_positive == 0  # both attackers identified
+    cut = run.judgments.disconnected_suspects()
+    assert run.bad_peers <= cut
+
+
+def test_naive_defense_active():
+    from dataclasses import replace
+
+    run = run_des_experiment(
+        replace(SMALL, num_agents=2, attack_rate_qpm=3000.0, defense="naive")
+    )
+    assert run.judgments is not None
+    assert run.judgments.disconnected_suspects()
+
+
+def test_churn_enabled_run():
+    from dataclasses import replace
+
+    from repro.churn.lifetimes import LifetimeConfig
+    from repro.churn.process import ChurnConfig
+
+    cfg = replace(
+        SMALL,
+        churn=ChurnConfig(
+            lifetime=LifetimeConfig(family="exponential", mean_s=60.0),
+            offtime=LifetimeConfig(family="exponential", mean_s=60.0),
+            enabled=True,
+        ),
+    )
+    run = run_des_experiment(cfg)
+    assert run.churn is not None
+    assert run.churn.leaves > 0
+
+
+def test_error_counts_without_defense_rejected():
+    run = run_des_experiment(SMALL)
+    with pytest.raises(ConfigError):
+        run.error_counts()
+
+
+def test_reproducibility():
+    a = run_des_experiment(SMALL)
+    b = run_des_experiment(SMALL)
+    assert a.total_messages == b.total_messages
+    assert a.success_rate == b.success_rate
+
+
+def test_bandwidth_enabled_run():
+    """DES attack with Saroiu link enforcement drops excess in flight."""
+    from dataclasses import replace
+
+    from repro.overlay.network import NetworkConfig
+
+    cfg = replace(
+        SMALL,
+        network=NetworkConfig(bandwidth_enabled=True, seed=1),
+        num_agents=2,
+        attack_rate_qpm=30_000.0,
+    )
+    run = run_des_experiment(cfg)
+    assert run.network.stats.messages_dropped_bandwidth > 0
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        DESConfig(n=1)
+    with pytest.raises(ConfigError):
+        DESConfig(defense="magic")
+    with pytest.raises(ConfigError):
+        DESConfig(n=5, num_agents=6)
+    with pytest.raises(ConfigError):
+        run_des_experiment(DESConfig(n=10, topology=TopologyConfig(n=20)))

@@ -1,0 +1,56 @@
+"""Unit tests for experiment scales."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.scenarios import (
+    PAPER_AGENT_FRACTIONS,
+    Scale,
+    active_scale,
+    bench_scale,
+    paper_scale,
+    smoke_scale,
+)
+
+
+def test_paper_scale_matches_paper():
+    scale = paper_scale()
+    assert scale.n_peers == 20_000
+    assert scale.agent_counts() == [10, 20, 50, 100, 200]
+
+
+def test_bench_scale_preserves_densities():
+    scale = bench_scale()
+    for agents, frac in zip(scale.agent_counts(), PAPER_AGENT_FRACTIONS):
+        assert agents == pytest.approx(frac * scale.n_peers, abs=1)
+
+
+def test_paper_equivalent_agents():
+    scale = bench_scale()
+    assert scale.paper_equivalent_agents(10) == 100
+    assert paper_scale().paper_equivalent_agents(100) == 100
+
+
+def test_active_scale_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "paper")
+    assert active_scale().name == "paper"
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+    assert active_scale().name == "smoke"
+    monkeypatch.delenv("REPRO_SCALE")
+    assert active_scale().name == "bench"
+    monkeypatch.setenv("REPRO_SCALE", "galaxy")
+    with pytest.raises(ConfigError):
+        active_scale()
+
+
+def test_scale_validation():
+    with pytest.raises(ConfigError):
+        Scale(name="x", n_peers=10, sim_minutes=10, attack_start_min=1, trials=1)
+    with pytest.raises(ConfigError):
+        Scale(name="x", n_peers=200, sim_minutes=5, attack_start_min=5, trials=1)
+    with pytest.raises(ConfigError):
+        Scale(name="x", n_peers=200, sim_minutes=10, attack_start_min=1, trials=0)
+
+
+def test_smoke_scale_small():
+    assert smoke_scale().n_peers <= 500

@@ -1,0 +1,57 @@
+"""Unit tests for sparkline/timeline rendering."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.reporting import render_timelines, sparkline
+
+
+def test_sparkline_extremes():
+    s = sparkline([0.0, 100.0], lo=0.0, hi=100.0)
+    assert s[0] == " " and s[-1] == "@"
+
+
+def test_sparkline_length_matches():
+    assert len(sparkline(list(range(17)))) == 17
+
+
+def test_sparkline_constant_series():
+    assert sparkline([5.0, 5.0, 5.0]) == "   "
+
+
+def test_sparkline_clamps_out_of_range():
+    s = sparkline([-10.0, 200.0], lo=0.0, hi=100.0)
+    assert s == " @"
+
+
+def test_sparkline_monotone_levels():
+    s = sparkline([float(i) for i in range(10)], lo=0.0, hi=9.0)
+    # non-decreasing character intensity
+    levels = " .:-=+*#%@"
+    assert [levels.index(c) for c in s] == sorted(levels.index(c) for c in s)
+
+
+def test_sparkline_empty_rejected():
+    with pytest.raises(ConfigError):
+        sparkline([])
+    with pytest.raises(ConfigError):
+        sparkline([1.0], lo=5.0, hi=1.0)
+
+
+def test_render_timelines_alignment():
+    out = render_timelines(
+        ["short", "a-much-longer-label"],
+        [[0, 50, 100], [100, 50, 0]],
+        title="T",
+        hi=100.0,
+    )
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].index("|") == lines[2].index("|")
+
+
+def test_render_timelines_validation():
+    with pytest.raises(ConfigError):
+        render_timelines(["a"], [[1], [2]])
+    with pytest.raises(ConfigError):
+        render_timelines([], [])

@@ -1,0 +1,70 @@
+"""Unit tests for the generic sweep utilities."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.sweeps import (
+    SweepPoint,
+    final_false_positive,
+    run_point,
+    steady_success,
+    steady_traffic_k,
+    sweep,
+)
+from repro.fluid.model import FluidConfig
+
+BASE = FluidConfig(n=300, seed=3, churn_warmup_min=4, attack_start_min=2)
+METRICS = {"succ": steady_success(3), "traffic": steady_traffic_k(3)}
+
+
+def test_run_point_single_trial():
+    pt = run_point(BASE, {"num_agents": 0}, minutes=5, metrics=METRICS)
+    assert pt.trials == 1
+    assert 0 <= pt["succ"] <= 1
+    assert pt.stddevs["succ"] == 0.0
+
+
+def test_run_point_multi_trial_stddev():
+    pt = run_point(BASE, {"num_agents": 2}, minutes=5, metrics=METRICS, trials=3)
+    assert pt.trials == 3
+    assert pt.stddevs["succ"] >= 0.0
+
+
+def test_sweep_cartesian_grid():
+    pts = sweep(
+        BASE,
+        {"num_agents": [0, 2], "defense": ["none", "ddpolice"]},
+        minutes=5,
+        metrics=METRICS,
+    )
+    assert len(pts) == 4
+    combos = {(p.overrides["num_agents"], p.overrides["defense"]) for p in pts}
+    assert combos == {(0, "none"), (0, "ddpolice"), (2, "none"), (2, "ddpolice")}
+
+
+def test_sweep_attack_hurts_success():
+    pts = sweep(BASE, {"num_agents": [0, 3]}, minutes=6, metrics=METRICS)
+    by_agents = {p.overrides["num_agents"]: p for p in pts}
+    assert by_agents[3]["succ"] < by_agents[0]["succ"]
+    assert by_agents[3]["traffic"] > by_agents[0]["traffic"]
+
+
+def test_error_extractors_need_defense():
+    pt = run_point(
+        BASE,
+        {"num_agents": 2, "defense": "ddpolice"},
+        minutes=5,
+        metrics={"fp": final_false_positive},
+    )
+    assert pt["fp"] >= 0
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        sweep(BASE, {}, minutes=3, metrics=METRICS)
+    with pytest.raises(ConfigError):
+        sweep(BASE, {"num_agents": []}, minutes=3, metrics=METRICS)
+    with pytest.raises(ConfigError):
+        run_point(BASE, {}, minutes=3, metrics={})
+    with pytest.raises(ConfigError):
+        run_point(BASE, {}, minutes=3, metrics=METRICS, trials=0)

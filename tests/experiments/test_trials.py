@@ -1,0 +1,48 @@
+"""Tests for multi-trial aggregation in the figure sweeps."""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.scenarios import smoke_scale
+
+
+@pytest.fixture(scope="module")
+def scale():
+    return smoke_scale()
+
+
+def test_damage_timelines_trials_average(scale):
+    single = figures.damage_timelines(
+        scale, cut_thresholds=(5.0,), minutes=scale.sim_minutes, seed=21, trials=1
+    )
+    averaged = figures.damage_timelines(
+        scale, cut_thresholds=(5.0,), minutes=scale.sim_minutes, seed=21, trials=2
+    )
+    assert [t.label for t in single] == [t.label for t in averaged]
+    assert len(averaged[0].damage_pct) == len(averaged[0].minutes)
+    # pre-attack zeros survive averaging
+    pre = [
+        d for m, d in zip(averaged[0].minutes, averaged[0].damage_pct)
+        if m < scale.attack_start_min
+    ]
+    assert all(d == 0.0 for d in pre)
+
+
+def test_damage_timelines_first_trial_matches_single(scale):
+    """trials=1 must be identical to the first trial of trials=N."""
+    single = figures.damage_timelines(
+        scale, cut_thresholds=(), minutes=scale.sim_minutes, seed=23, trials=1
+    )
+    assert single[0].label == "no DD-POLICE"
+
+
+def test_cut_threshold_sweep_trials_sum_errors(scale):
+    one = figures.cut_threshold_sweep(
+        scale, cut_thresholds=(5.0,), minutes=scale.sim_minutes, seed=25, trials=1
+    )[0]
+    two = figures.cut_threshold_sweep(
+        scale, cut_thresholds=(5.0,), minutes=scale.sim_minutes, seed=25, trials=2
+    )[0]
+    # summed counts can only grow with more trials
+    assert two.false_negative >= one.false_negative
+    assert two.false_judgment == two.false_negative + two.false_positive

@@ -1,0 +1,77 @@
+"""Unit tests for the flood-coverage approximation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fluid.coverage import degree_moments, expected_coverage, novelty_schedule
+
+
+def test_degree_moments_regular_graph():
+    mean, excess = degree_moments([4] * 100)
+    assert mean == 4.0
+    assert excess == 3.0  # d-1 for regular graphs
+
+
+def test_degree_moments_heavy_tail_raises_excess():
+    _, excess_reg = degree_moments([6] * 100)
+    _, excess_ht = degree_moments([3] * 90 + [33] * 10)
+    assert excess_ht > excess_reg
+
+
+def test_degree_moments_empty_rejected():
+    with pytest.raises(ConfigError):
+        degree_moments([])
+
+
+def test_novelty_monotone_nonincreasing():
+    sigma = novelty_schedule([6] * 1000, ttl=7)
+    assert sigma[0] == 1.0 and sigma[1] == 1.0
+    for a, b in zip(sigma[1:], sigma[2:]):
+        assert b <= a + 1e-12
+
+
+def test_novelty_in_unit_interval():
+    sigma = novelty_schedule([3, 4, 3, 5, 30], ttl=7, n=5)
+    assert all(0.0 <= s <= 1.0 for s in sigma)
+
+
+def test_novelty_saturates_on_tiny_graph():
+    """A 10-node graph is fully covered after a couple of hops."""
+    sigma = novelty_schedule([4] * 10, ttl=7)
+    assert sigma[-1] < 0.2
+
+
+def test_novelty_stays_high_on_huge_graph():
+    sigma = novelty_schedule([6] * 1_000_000, ttl=4)
+    assert sigma[4] > 0.99
+
+
+def test_coverage_monotone_and_bounded():
+    M = expected_coverage([6] * 500, ttl=7)
+    assert M[0] == 1.0
+    for a, b in zip(M, M[1:]):
+        assert b >= a
+    assert M[-1] <= 500.0
+
+
+def test_coverage_full_on_dense_graph():
+    M = expected_coverage([6] * 200, ttl=7)
+    assert M[-1] == pytest.approx(200.0, rel=0.05)
+
+
+def test_coverage_limited_by_ttl():
+    """On a near-line graph (degree 2), coverage grows ~linearly."""
+    M = expected_coverage([2] * 10_000, ttl=7)
+    assert M[-1] < 30
+
+
+def test_ttl_validation():
+    with pytest.raises(ConfigError):
+        novelty_schedule([4] * 10, ttl=0)
+    with pytest.raises(ConfigError):
+        expected_coverage([4] * 10, ttl=0)
+
+
+def test_zero_degree_graph():
+    sigma = novelty_schedule([0] * 5, ttl=3)
+    assert list(sigma[1:]) == [0.0, 0.0, 0.0]

@@ -1,0 +1,75 @@
+"""Focused tests on MinuteRow semantics and fluid bookkeeping."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.fluid.model import FluidConfig, FluidSimulation, MinuteRow
+
+
+def make_row(**kw):
+    defaults = dict(
+        minute=1, online=100, edges_directed=600, agents_online=0,
+        agents_attacking=0, good_injected_qpm=30.0, attack_injected_qpm=0.0,
+        query_messages_qpm=50_000.0, control_messages_qpm=2_000.0,
+        dropped_fraction=0.0, mean_rho=1.0, reach_per_query=90.0,
+        success_rate=0.9, response_time_s=0.3, edges_cut=0,
+        list_staleness=0.05,
+    )
+    defaults.update(kw)
+    return MinuteRow(**defaults)
+
+
+def test_traffic_cost_includes_control_plane():
+    row = make_row(query_messages_qpm=50_000.0, control_messages_qpm=2_000.0)
+    assert row.traffic_cost_kqpm == pytest.approx(52.0)
+
+
+def test_attack_injection_respects_link_caps():
+    sim = FluidSimulation(
+        FluidConfig(n=300, num_agents=6, attack_start_min=1, seed=5,
+                    churn_warmup_min=3)
+    )
+    rows = sim.run(4)
+    # injected never exceeds the sum of the agents' capped rates
+    cap = sum(sim.attack_rate.values())
+    for r in rows:
+        assert r.attack_injected_qpm <= cap + 1e-6
+
+
+def test_agents_attacking_counts_only_connected():
+    sim = FluidSimulation(
+        FluidConfig(n=300, num_agents=4, attack_start_min=1, seed=6,
+                    churn_warmup_min=3)
+    )
+    rows = sim.run(4)
+    for r in rows:
+        assert r.agents_attacking <= r.agents_online <= 4
+
+
+def test_staleness_reported_between_zero_and_one():
+    sim = FluidSimulation(FluidConfig(n=300, seed=7, churn_warmup_min=3))
+    rows = sim.run(4)
+    assert all(0.0 <= r.list_staleness <= 1.0 for r in rows)
+    # under the paper's churn, lists are never perfectly fresh
+    assert any(r.list_staleness > 0.0 for r in rows)
+
+
+def test_no_churn_means_static_population():
+    from repro.fluid.graphstate import FluidChurnConfig
+
+    cfg = FluidConfig(
+        n=200, seed=8, churn=FluidChurnConfig(enabled=False), churn_warmup_min=0
+    )
+    sim = FluidSimulation(cfg)
+    rows = sim.run(3)
+    assert all(r.online == 200 for r in rows)
+    assert all(r.list_staleness == 0.0 for r in rows)
+
+
+def test_disabled_attack_zero_injection():
+    sim = FluidSimulation(FluidConfig(n=200, num_agents=0, seed=9,
+                                      churn_warmup_min=2))
+    rows = sim.run(3)
+    assert all(r.attack_injected_qpm == 0.0 for r in rows)
+    assert all(r.agents_online == 0 for r in rows)

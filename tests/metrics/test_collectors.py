@@ -1,0 +1,76 @@
+"""Unit tests for the per-minute metrics collector."""
+
+import pytest
+
+from repro.metrics.collectors import MetricsCollector
+from repro.overlay.ids import PeerId
+from repro.workload.generator import QueryWorkload, WorkloadConfig
+from tests.conftest import make_network
+
+
+def ring(n):
+    return {i: {(i + 1) % n} for i in range(n)}
+
+
+def test_minutes_collected_with_grace():
+    sim, net = make_network(ring(10), seed=1)
+    collector = MetricsCollector(net, grace_minutes=1)
+    wl = QueryWorkload(sim, net, WorkloadConfig(queries_per_minute=6.0, seed=1))
+    wl.start()
+    sim.run(until=310.0)
+    # 5 minute rolls happened; with 1 minute grace, 4 windows evaluated
+    assert len(collector.minutes) == 4
+    assert [m.minute for m in collector.minutes] == [1, 2, 3, 4]
+
+
+def test_window_counts_queries_issued_in_window():
+    sim, net = make_network(ring(10), seed=2)
+    collector = MetricsCollector(net, grace_minutes=1)
+    wl = QueryWorkload(sim, net, WorkloadConfig(queries_per_minute=6.0, seed=2))
+    wl.start()
+    sim.run(until=200.0)
+    total_windowed = sum(m.queries_issued for m in collector.minutes)
+    issued_in_first_2min = sum(
+        1 for r in net.query_records.values() if r.issued_at < 120.0
+    )
+    assert total_windowed == issued_in_first_2min
+
+
+def test_success_rate_definition():
+    sim, net = make_network(ring(6), seed=3)
+    collector = MetricsCollector(net, grace_minutes=1)
+    # make every query succeed: object 0 replicated everywhere
+    for obj in range(len(net.content.replica_holders)):
+        net.content.replica_holders[obj] = set(range(6))
+    net.content.peer_objects = {
+        p: set(range(len(net.content.replica_holders))) for p in range(6)
+    }
+    wl = QueryWorkload(sim, net, WorkloadConfig(queries_per_minute=6.0, seed=3))
+    wl.start()
+    sim.run(until=200.0)
+    for m in collector.minutes:
+        if m.queries_issued:
+            assert m.success_rate == 1.0
+            assert m.mean_response_time_s is not None
+
+
+def test_traffic_series_deltas():
+    sim, net = make_network(ring(10), seed=4)
+    collector = MetricsCollector(net, grace_minutes=0)
+    wl = QueryWorkload(sim, net, WorkloadConfig(queries_per_minute=6.0, seed=4))
+    wl.start()
+    sim.run(until=190.0)
+    total = sum(m.messages for m in collector.minutes)
+    assert total <= net.stats.messages_delivered
+    series = collector.traffic_series()
+    assert len(series) == len(collector.minutes)
+
+
+def test_series_accessors():
+    sim, net = make_network(ring(6), seed=5)
+    collector = MetricsCollector(net)
+    wl = QueryWorkload(sim, net, WorkloadConfig(queries_per_minute=10.0, seed=5))
+    wl.start()
+    sim.run(until=250.0)
+    assert len(collector.success_series()) > 0
+    assert len(collector.traffic_series()) > 0

@@ -1,0 +1,69 @@
+"""Unit tests for the Saroiu bandwidth model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.overlay.bandwidth import (
+    MEAN_QUERY_SIZE_BYTES,
+    BandwidthClass,
+    BandwidthModel,
+    queries_per_minute,
+)
+
+
+def test_queries_per_minute_conversion():
+    # 100 Kbps -> 100_000 * 60 / (8 * 83) ~= 9036 queries/min
+    qpm = queries_per_minute(100_000)
+    assert qpm == pytest.approx(100_000 * 60 / (8 * MEAN_QUERY_SIZE_BYTES))
+
+
+def test_queries_per_minute_rejects_nonpositive():
+    with pytest.raises(ConfigError):
+        queries_per_minute(0)
+
+
+def test_population_matches_saroiu_breakpoints():
+    """78% downstream >= 100 Kbps, 22% upstream <= 100 Kbps."""
+    model = BandwidthModel(seed=3)
+    summary = model.population_summary(n=20_000)
+    assert summary["downstream_ge_100k"] == pytest.approx(0.78, abs=0.02)
+    assert summary["upstream_le_100k"] == pytest.approx(0.22, abs=0.02)
+
+
+def test_assignment_deterministic_by_seed():
+    a = [c.name for c in BandwidthModel(seed=1).assign(100)]
+    b = [c.name for c in BandwidthModel(seed=1).assign(100)]
+    assert a == b
+
+
+def test_attack_rate_law():
+    """Q_d = min(20,000, link capacity) -- Section 3.5."""
+    model = BandwidthModel(seed=0)
+    modem = next(c for c in model.classes if c.name == "modem")
+    t1 = next(c for c in model.classes if c.name == "t1")
+    assert model.attack_rate_qpm(modem) == pytest.approx(model.upstream_qpm(modem))
+    assert model.attack_rate_qpm(modem) < 20_000
+    assert model.attack_rate_qpm(t1) == 20_000.0
+
+
+def test_class_validation():
+    with pytest.raises(ConfigError):
+        BandwidthClass("bad", downstream_bps=0, upstream_bps=1, weight=1)
+    with pytest.raises(ConfigError):
+        BandwidthClass("bad", downstream_bps=1, upstream_bps=1, weight=-1)
+
+
+def test_model_requires_classes():
+    with pytest.raises(ConfigError):
+        BandwidthModel(classes=[])
+
+
+def test_assign_negative_rejected():
+    with pytest.raises(ConfigError):
+        BandwidthModel().assign(-1)
+
+
+def test_upstream_downstream_qpm_ordering():
+    model = BandwidthModel()
+    for cls in model.classes:
+        assert model.downstream_qpm(cls) >= model.upstream_qpm(cls) or cls.name == "t1"

@@ -1,0 +1,66 @@
+"""Unit tests for the token-bucket capacity model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.overlay.capacity import TokenBucket
+
+
+def test_initial_burst_available():
+    tb = TokenBucket(rate_per_min=600.0)  # 10/s, burst=10
+    assert tb.available(0.0) == pytest.approx(10.0)
+    for _ in range(10):
+        assert tb.try_consume(0.0)
+    assert not tb.try_consume(0.0)
+
+
+def test_refill_over_time():
+    tb = TokenBucket(rate_per_min=60.0)  # 1 token/s, burst=1
+    assert tb.try_consume(0.0)
+    assert not tb.try_consume(0.0)
+    assert not tb.try_consume(0.5)
+    assert tb.try_consume(1.0)
+
+
+def test_burst_caps_accumulation():
+    tb = TokenBucket(rate_per_min=60.0, burst=2.0)
+    assert tb.available(100.0) == pytest.approx(2.0)
+
+
+def test_sustained_rate_is_enforced():
+    tb = TokenBucket(rate_per_min=600.0)
+    consumed = 0
+    t = 0.0
+    while t < 60.0:
+        if tb.try_consume(t):
+            consumed += 1
+        t += 0.05
+    # 600/min sustained + initial burst of 10
+    assert 590 <= consumed <= 615
+
+
+def test_custom_amount():
+    tb = TokenBucket(rate_per_min=60.0, burst=5.0)
+    assert tb.try_consume(0.0, amount=5.0)
+    assert not tb.try_consume(0.0, amount=0.1)
+
+
+def test_time_backwards_tolerated_without_refill():
+    """Out-of-order timestamps (interleaved sources in one window) must
+    not crash, and must not mint tokens either."""
+    tb = TokenBucket(rate_per_min=60.0, burst=1.0)
+    assert tb.try_consume(5.0)
+    assert not tb.try_consume(4.0)  # earlier time: no refill happened
+    assert tb.try_consume(6.0)  # a second later: one token refilled
+
+
+def test_invalid_params():
+    with pytest.raises(ConfigError):
+        TokenBucket(rate_per_min=0.0)
+    tb = TokenBucket(rate_per_min=60.0)
+    with pytest.raises(ConfigError):
+        tb.try_consume(0.0, amount=-1.0)
+
+
+def test_rate_per_sec_property():
+    assert TokenBucket(rate_per_min=600.0).rate_per_sec == pytest.approx(10.0)

@@ -1,0 +1,54 @@
+"""Unit tests for the bootstrap host cache."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.overlay.hostcache import HostCache
+from repro.overlay.ids import PeerId
+
+
+@pytest.fixture
+def cache():
+    return HostCache(random.Random(1))
+
+
+def test_online_tracking(cache):
+    cache.mark_online(PeerId(1))
+    cache.mark_online(PeerId(2))
+    cache.mark_offline(PeerId(1))
+    assert cache.online_peers() == {PeerId(2)}
+    assert cache.online_count == 1
+
+
+def test_candidates_respect_exclusion(cache):
+    for i in range(10):
+        cache.mark_online(PeerId(i))
+    got = cache.candidates(20, exclude={PeerId(0), PeerId(1)})
+    assert PeerId(0) not in got and PeerId(1) not in got
+    assert len(got) == 8
+
+
+def test_candidates_sample_size(cache):
+    for i in range(50):
+        cache.mark_online(PeerId(i))
+    assert len(cache.candidates(5)) == 5
+
+
+def test_candidates_filter_by_degree(cache):
+    for i in range(5):
+        cache.mark_online(PeerId(i))
+    degree_of = {PeerId(i): 40 for i in range(4)}  # above max_degree=32
+    got = cache.candidates(5, degree_of=degree_of)
+    assert got == [PeerId(4)]
+
+
+def test_negative_want_rejected(cache):
+    with pytest.raises(ConfigError):
+        cache.candidates(-1)
+
+
+def test_max_degree_validation():
+    with pytest.raises(ConfigError):
+        HostCache(random.Random(0), max_degree=0)

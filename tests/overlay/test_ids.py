@@ -1,0 +1,64 @@
+"""Unit tests for peer ids and GUIDs."""
+
+import random
+
+import pytest
+
+from repro.overlay.ids import Guid, GuidFactory, PeerId
+
+
+def test_peer_id_ipv4_mapping_roundtrip():
+    pid = PeerId(0x012345)
+    raw = pid.ipv4_bytes()
+    assert raw[0] == 10
+    assert PeerId.from_ipv4_bytes(raw) == pid
+
+
+def test_peer_id_dotted_quad():
+    assert PeerId(0).ipv4 == "10.0.0.0"
+    assert PeerId(1).ipv4 == "10.0.0.1"
+    assert PeerId(256).ipv4 == "10.0.1.0"
+    assert PeerId(2**24 - 1).ipv4 == "10.255.255.255"
+
+
+def test_peer_id_range_enforced():
+    with pytest.raises(ValueError):
+        PeerId(-1)
+    with pytest.raises(ValueError):
+        PeerId(2**24)
+
+
+def test_peer_id_ordering_and_hash():
+    a, b = PeerId(1), PeerId(2)
+    assert a < b
+    assert len({PeerId(3), PeerId(3)}) == 1
+
+
+def test_from_ipv4_bytes_validates():
+    with pytest.raises(ValueError):
+        PeerId.from_ipv4_bytes(b"\x0a\x00\x00")  # too short
+    with pytest.raises(ValueError):
+        PeerId.from_ipv4_bytes(b"\x0b\x00\x00\x00")  # wrong prefix
+
+
+def test_guid_must_be_16_bytes():
+    with pytest.raises(ValueError):
+        Guid(b"short")
+    Guid(b"\x00" * 16)  # ok
+
+
+def test_guid_factory_unique():
+    factory = GuidFactory(random.Random(0))
+    guids = {factory.new().raw for _ in range(1000)}
+    assert len(guids) == 1000
+
+
+def test_guid_factory_deterministic():
+    a = GuidFactory(random.Random(5)).new()
+    b = GuidFactory(random.Random(5)).new()
+    assert a.raw == b.raw
+
+
+def test_guid_hex():
+    g = Guid(bytes(range(16)))
+    assert g.hex() == bytes(range(16)).hex()

@@ -1,0 +1,103 @@
+"""Unit tests for overlay message types."""
+
+import pytest
+
+from repro.overlay.ids import Guid, PeerId
+from repro.overlay.message import (
+    GNUTELLA_HEADER_SIZE,
+    Bye,
+    MessageKind,
+    NeighborListMessage,
+    NeighborTrafficMessage,
+    Ping,
+    Pong,
+    Query,
+    QueryHit,
+)
+
+
+def guid(n: int = 0) -> Guid:
+    return Guid(n.to_bytes(16, "big"))
+
+
+def test_payload_descriptors_match_spec():
+    assert MessageKind.PING.value == 0x00
+    assert MessageKind.PONG.value == 0x01
+    assert MessageKind.QUERY.value == 0x80
+    assert MessageKind.QUERY_HIT.value == 0x81
+    assert MessageKind.NEIGHBOR_TRAFFIC.value == 0x83  # Section 3.3
+
+
+def test_sizes_include_23_byte_header():
+    p = Ping(guid())
+    assert p.size_bytes == GNUTELLA_HEADER_SIZE
+    q = Query(guid(), keywords=("abc",))
+    assert q.size_bytes > GNUTELLA_HEADER_SIZE
+
+
+def test_query_search_string():
+    q = Query(guid(), keywords=("red", "song"))
+    assert q.search_string == "red song"
+    assert q.kind is MessageKind.QUERY
+
+
+def test_query_payload_size_grows_with_keywords():
+    short = Query(guid(), keywords=("a",))
+    long = Query(guid(), keywords=("a", "much-longer-keyword"))
+    assert long.payload_size > short.payload_size
+
+
+def test_aged_copy_decrements_ttl_increments_hops():
+    q = Query(guid(), ttl=7, hops=0, keywords=("x",))
+    fwd = q.aged_copy()
+    assert (fwd.ttl, fwd.hops) == (6, 1)
+    assert (q.ttl, q.hops) == (7, 0)  # original untouched
+    assert fwd.guid == q.guid
+
+
+def test_aged_copy_preserves_ttl_plus_hops():
+    q = Query(guid(), ttl=5, hops=2, keywords=("x",))
+    fwd = q.aged_copy()
+    assert fwd.ttl + fwd.hops == q.ttl + q.hops
+
+
+def test_aged_copy_at_zero_ttl_rejected():
+    q = Query(guid(), ttl=0, keywords=("x",))
+    with pytest.raises(ValueError):
+        q.aged_copy()
+
+
+def test_query_hit_references_query_guid():
+    qh = QueryHit(guid(1), responder=PeerId(4), query_guid=guid(2))
+    assert qh.kind is MessageKind.QUERY_HIT
+    assert qh.query_guid == guid(2)
+    assert qh.payload_size > 0
+
+
+def test_bye_reason_codes():
+    b = Bye(guid(), reason_code=Bye.REASON_DDOS_SUSPECT, reason_text="ddos")
+    assert b.kind is MessageKind.BYE
+    assert b.reason_code == 1
+
+
+def test_neighbor_list_size_scales_with_members():
+    small = NeighborListMessage(guid(), sender=PeerId(1), neighbors=frozenset())
+    big = NeighborListMessage(
+        guid(), sender=PeerId(1), neighbors=frozenset(PeerId(i) for i in range(10))
+    )
+    assert big.payload_size == small.payload_size + 60
+
+
+def test_neighbor_traffic_fixed_body_size():
+    msg = NeighborTrafficMessage(
+        guid(), source=PeerId(1), suspect=PeerId(2), timestamp=1,
+        outgoing_queries=10, incoming_queries=20,
+    )
+    assert msg.payload_size == 20  # Table 1
+    assert msg.size_bytes == GNUTELLA_HEADER_SIZE + 20
+
+
+def test_pong_carries_responder():
+    p = Pong(guid(), responder=PeerId(9), shared_files=3)
+    assert p.responder == PeerId(9)
+    assert p.kind is MessageKind.PONG

@@ -1,0 +1,50 @@
+"""Tests for DES-mode access-link bandwidth enforcement."""
+
+import pytest
+
+from repro.attack.agent import AgentConfig, DDoSAgent
+from repro.overlay.ids import PeerId
+from repro.overlay.network import NetworkConfig
+from tests.conftest import make_network
+
+BW_CONFIG = NetworkConfig(hop_latency_jitter_s=0.0, bandwidth_enabled=True, seed=3)
+
+
+def test_disabled_by_default():
+    sim, net = make_network({0: {1}})
+    assert not net._up_links
+    net.peers[PeerId(0)].issue_query(("nosuch", "id900"))
+    sim.run(until=1.0)
+    assert net.stats.messages_dropped_bandwidth == 0
+
+
+def test_light_traffic_unaffected():
+    sim, net = make_network({0: {1}, 1: {2}}, config=BW_CONFIG)
+    for i in range(5):
+        net.peers[PeerId(0)].issue_query(("nosuch", f"id90{i}"))
+    sim.run(until=5.0)
+    assert net.stats.messages_dropped_bandwidth == 0
+    assert net.peers[PeerId(2)].counters.queries_received == 5
+
+
+def test_flood_exceeding_links_is_dropped():
+    sim, net = make_network({0: {1, 2, 3}}, config=BW_CONFIG)
+    agent = DDoSAgent(
+        sim, net, PeerId(0), AgentConfig(nominal_rate_qpm=60_000.0)
+    )
+    agent.start()
+    sim.run(until=60.0)
+    assert net.stats.messages_dropped_bandwidth > 0
+    # what got through is bounded by the modelled link rates
+    delivered = sum(
+        net.peers[PeerId(i)].counters.queries_received for i in (1, 2, 3)
+    )
+    assert delivered < agent.queries_sent
+
+
+def test_bandwidth_assignment_deterministic():
+    sim1, net1 = make_network({0: {1}}, config=BW_CONFIG)
+    sim2, net2 = make_network({0: {1}}, config=BW_CONFIG)
+    r1 = net1._up_links[PeerId(0)].rate_per_min
+    r2 = net2._up_links[PeerId(0)].rate_per_min
+    assert r1 == r2

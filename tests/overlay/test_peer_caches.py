@@ -1,0 +1,67 @@
+"""Edge-case tests for the peer's bounded GUID caches."""
+
+import pytest
+
+import repro.overlay.peer as peer_module
+from repro.overlay.ids import PeerId
+from tests.conftest import make_network
+
+
+@pytest.fixture
+def small_cache(monkeypatch):
+    """Shrink the LRU limits so eviction is observable."""
+    monkeypatch.setattr(peer_module, "SEEN_CACHE_LIMIT", 5)
+    yield 5
+
+
+def test_seen_cache_evicts_oldest(small_cache):
+    sim, net = make_network({0: {1}})
+    p1 = net.peers[PeerId(1)]
+    guids = []
+    for i in range(8):
+        guids.append(net.peers[PeerId(0)].issue_query(("nosuch", f"id90{i}")))
+        sim.run(until=(i + 1) * 0.2)
+    # the oldest GUIDs were evicted; the most recent are retained
+    assert not p1.has_seen(guids[0])
+    assert p1.has_seen(guids[-1])
+
+
+def test_evicted_guid_treated_as_novel_again(small_cache):
+    """After eviction, a replayed GUID is processed as new -- the
+    documented memory/precision tradeoff of bounded dup tables."""
+    sim, net = make_network({0: {1}})
+    p0, p1 = net.peers[PeerId(0)], net.peers[PeerId(1)]
+    first = p0.issue_query(("nosuch", "id900"))
+    sim.run(until=0.2)
+    assert p1.counters.queries_dropped_duplicate == 0
+    for i in range(7):  # push `first` out of peer 1's cache
+        p0.issue_query(("nosuch", f"id91{i}"))
+    sim.run(until=1.0)
+    # replaying the evicted GUID: peer 1 no longer recognizes it
+    from repro.overlay.message import Query
+
+    replay = Query(guid=first, ttl=3, hops=0, keywords=("nosuch", "id900"))
+    p0._send(PeerId(1), replay)
+    before = p1.counters.queries_dropped_duplicate
+    sim.run(until=2.0)
+    assert p1.counters.queries_dropped_duplicate == before
+
+
+def test_offline_clears_caches():
+    sim, net = make_network({0: {1}})
+    p1 = net.peers[PeerId(1)]
+    guid = net.peers[PeerId(0)].issue_query(("nosuch", "id900"))
+    sim.run(until=0.5)
+    assert p1.has_seen(guid)
+    p1.go_offline()
+    assert not p1.has_seen(guid)
+    assert p1.neighbors == set()
+
+
+def test_bytes_counters_track_both_directions():
+    sim, net = make_network({0: {1}})
+    p0, p1 = net.peers[PeerId(0)], net.peers[PeerId(1)]
+    p0.issue_query(("nosuch", "id900"))
+    sim.run(until=0.5)
+    assert p0.counters.bytes_sent > 0
+    assert p1.counters.bytes_received == p0.counters.bytes_sent

@@ -1,0 +1,125 @@
+"""Unit tests for BRITE-like topology generation."""
+
+import random
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.overlay.topology import (
+    Topology,
+    TopologyConfig,
+    barabasi_albert,
+    degree_statistics,
+    generate_topology,
+    random_regularish,
+    waxman,
+)
+
+
+def test_ba_basic_invariants():
+    topo = barabasi_albert(200, 3, random.Random(1))
+    assert topo.n == 200
+    assert topo.check_symmetric()
+    assert topo.is_connected()
+    # every non-seed node has degree >= m
+    assert all(topo.degree(u) >= 3 for u in range(200))
+
+
+def test_ba_mean_degree_close_to_2m():
+    topo = barabasi_albert(2000, 3, random.Random(2))
+    stats = degree_statistics(topo)
+    assert 5.5 <= stats["mean"] <= 6.5  # paper: average 6
+
+
+def test_ba_paper_degree_profile():
+    """Most peers have 3-4 neighbors, a few have tens (Section 3.5)."""
+    topo = barabasi_albert(2000, 3, random.Random(3))
+    stats = degree_statistics(topo)
+    assert stats["mode"] in (3.0, 4.0)
+    assert stats["frac_3_or_4"] > 0.4
+    assert stats["max"] >= 20  # heavy tail
+    assert 0 < stats["frac_tens"] < 0.3
+
+
+def test_ba_requires_n_greater_than_m():
+    with pytest.raises(TopologyError):
+        barabasi_albert(3, 3, random.Random(0))
+
+
+def test_waxman_connected_after_stitching():
+    topo = waxman(100, alpha=0.1, beta=0.3, rng=random.Random(4))
+    assert topo.is_connected()
+    assert topo.check_symmetric()
+
+
+def test_waxman_parameter_validation():
+    with pytest.raises(TopologyError):
+        waxman(10, alpha=0.0, beta=0.5, rng=random.Random(0))
+    with pytest.raises(TopologyError):
+        waxman(10, alpha=0.5, beta=1.5, rng=random.Random(0))
+
+
+def test_random_regularish_mean_degree():
+    topo = random_regularish(500, 6.0, random.Random(5))
+    stats = degree_statistics(topo)
+    assert 5.0 <= stats["mean"] <= 7.0
+    assert topo.is_connected()
+
+
+def test_generate_topology_dispatch():
+    for model in ("ba", "waxman", "random"):
+        topo = generate_topology(TopologyConfig(n=120, model=model, seed=9))
+        assert topo.n == 120
+        assert topo.is_connected()
+        assert topo.kind == model
+
+
+def test_generate_topology_deterministic():
+    a = generate_topology(TopologyConfig(n=100, seed=11))
+    b = generate_topology(TopologyConfig(n=100, seed=11))
+    assert a.adjacency == b.adjacency
+
+
+def test_generate_topology_seed_sensitivity():
+    a = generate_topology(TopologyConfig(n=100, seed=11))
+    b = generate_topology(TopologyConfig(n=100, seed=12))
+    assert a.adjacency != b.adjacency
+
+
+def test_config_validation():
+    with pytest.raises(TopologyError):
+        TopologyConfig(n=1)
+    with pytest.raises(TopologyError):
+        TopologyConfig(model="grid")
+    with pytest.raises(TopologyError):
+        TopologyConfig(n=3, ba_m=3)
+
+
+def test_edge_surgery():
+    topo = Topology(n=3, adjacency=[set(), set(), set()])
+    topo.add_edge(0, 1)
+    assert topo.has_edge(0, 1) and topo.has_edge(1, 0)
+    assert topo.edge_count() == 1
+    topo.remove_edge(0, 1)
+    assert not topo.has_edge(0, 1)
+    with pytest.raises(TopologyError):
+        topo.add_edge(1, 1)
+
+
+def test_edges_iterates_each_once():
+    topo = barabasi_albert(50, 2, random.Random(6))
+    edges = list(topo.edges())
+    assert len(edges) == topo.edge_count()
+    assert all(u < v for u, v in edges)
+    assert len(set(edges)) == len(edges)
+
+
+def test_connected_component():
+    topo = Topology(n=4, adjacency=[{1}, {0}, {3}, {2}])
+    assert topo.connected_component(0) == {0, 1}
+    assert not topo.is_connected()
+
+
+def test_degree_statistics_empty_rejected():
+    with pytest.raises(TopologyError):
+        degree_statistics(Topology(n=0, adjacency=[]))

@@ -1,0 +1,119 @@
+"""Unit tests for the standard Gnutella 0.6 body codecs."""
+
+import pytest
+
+from repro.errors import WireFormatError
+from repro.overlay.ids import Guid, PeerId
+from repro.overlay.message import Ping, Pong, Query, QueryHit
+from repro.overlay.wire import (
+    HitRecord,
+    decode_ping,
+    decode_pong,
+    decode_query,
+    decode_query_hit,
+    encode_ping,
+    encode_pong,
+    encode_query,
+    encode_query_hit,
+)
+
+
+def guid(n=1):
+    return Guid(n.to_bytes(16, "big"))
+
+
+def test_ping_roundtrip():
+    msg = Ping(guid=guid(), ttl=4, hops=3)
+    decoded = decode_ping(encode_ping(msg))
+    assert (decoded.guid, decoded.ttl, decoded.hops) == (msg.guid, 4, 3)
+
+
+def test_ping_is_header_only():
+    assert len(encode_ping(Ping(guid=guid()))) == 23
+
+
+def test_pong_roundtrip():
+    msg = Pong(guid=guid(2), ttl=1, hops=0, responder=PeerId(777), shared_files=42)
+    decoded, port, kbytes = decode_pong(
+        encode_pong(msg, port=6347, shared_kbytes=1024)
+    )
+    assert decoded.responder == PeerId(777)
+    assert decoded.shared_files == 42
+    assert (port, kbytes) == (6347, 1024)
+
+
+def test_pong_requires_responder():
+    with pytest.raises(WireFormatError):
+        encode_pong(Pong(guid=guid()))
+    with pytest.raises(WireFormatError):
+        encode_pong(Pong(guid=guid(), responder=PeerId(1)), port=70_000)
+
+
+def test_query_roundtrip():
+    msg = Query(guid=guid(3), ttl=7, hops=0, keywords=("red", "song", "id3"),
+                min_speed=56)
+    decoded = decode_query(encode_query(msg))
+    assert decoded.keywords == ("red", "song", "id3")
+    assert decoded.min_speed == 56
+    assert decoded.search_string == msg.search_string
+
+
+def test_query_empty_keywords():
+    msg = Query(guid=guid(), keywords=())
+    decoded = decode_query(encode_query(msg))
+    assert decoded.keywords == ()
+
+
+def test_query_nul_rejected():
+    msg = Query(guid=guid(), keywords=("bad\x00name",))
+    with pytest.raises(WireFormatError):
+        encode_query(msg)
+
+
+def test_query_hit_roundtrip():
+    msg = QueryHit(
+        guid=guid(4), ttl=5, hops=0, responder=PeerId(9), result_count=2,
+        query_guid=guid(5),
+    )
+    hits = [
+        HitRecord(file_index=1, file_size=1_000_000, name="red song.mp3"),
+        HitRecord(file_index=2, file_size=2_000_000, name="blue song.mp3"),
+    ]
+    decoded, got_hits = decode_query_hit(encode_query_hit(msg, hits, port=6346,
+                                                          speed=1000))
+    assert decoded.responder == PeerId(9)
+    assert decoded.query_guid == guid(5)
+    assert decoded.result_count == 2
+    assert got_hits == hits
+
+
+def test_query_hit_requires_fields():
+    msg = QueryHit(guid=guid(), responder=None, query_guid=guid(5))
+    with pytest.raises(WireFormatError):
+        encode_query_hit(msg, [HitRecord(1, 1, "x")])
+    msg2 = QueryHit(guid=guid(), responder=PeerId(1), query_guid=guid(5))
+    with pytest.raises(WireFormatError):
+        encode_query_hit(msg2, [])
+
+
+def test_query_hit_truncation_detected():
+    msg = QueryHit(guid=guid(), responder=PeerId(1), result_count=1,
+                   query_guid=guid(5))
+    raw = encode_query_hit(msg, [HitRecord(1, 10, "a.mp3")])
+    with pytest.raises(WireFormatError):
+        decode_query_hit(raw[:-4])
+
+
+def test_hit_record_validation():
+    with pytest.raises(WireFormatError):
+        HitRecord(file_index=-1, file_size=0, name="x")
+    with pytest.raises(WireFormatError):
+        HitRecord(file_index=0, file_size=0, name="a\x00b")
+
+
+def test_cross_kind_decode_rejected():
+    ping_raw = encode_ping(Ping(guid=guid()))
+    with pytest.raises(WireFormatError):
+        decode_query(ping_raw)
+    with pytest.raises(WireFormatError):
+        decode_pong(ping_raw)

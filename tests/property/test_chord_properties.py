@@ -1,0 +1,66 @@
+"""Property-based tests for the Chord substrate."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structured.chord import ChordConfig, ChordRing
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=150),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_lookup_always_finds_true_owner(n, seed):
+    ring = ChordRing(ChordConfig(n_nodes=n, seed=seed))
+    rng = random.Random(seed)
+    for _ in range(25):
+        key = rng.randrange(ring.space)
+        origin = rng.randrange(n)
+        result = ring.lookup(origin, key, now_s=0.0)
+        assert result.succeeded
+        assert result.owner == ring.owner_of(key)
+        assert result.hops <= 2 * ring.config.id_bits
+        # the path's first element is always the origin
+        assert result.path[0] == origin
+        # the path never revisits a node (progress is strictly clockwise)
+        assert len(set(result.path)) == len(result.path)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=8, max_value=150),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_ring_structure_invariants(n, seed):
+    ring = ChordRing(ChordConfig(n_nodes=n, seed=seed))
+    # successor relation forms one cycle covering the whole ring
+    start = 0
+    seen = set()
+    cur = start
+    for _ in range(n):
+        seen.add(cur)
+        cur = ring.successors[cur][0]
+    assert cur == start
+    assert len(seen) == n
+    # fingers never include the node itself
+    for idx in range(n):
+        assert idx not in ring.fingers[idx]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=16, max_value=128),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_mean_hops_logarithmic(n, seed):
+    ring = ChordRing(ChordConfig(n_nodes=n, seed=seed))
+    rng = random.Random(seed + 1)
+    hops = [
+        ring.lookup(rng.randrange(n), rng.randrange(ring.space), 0.0).hops
+        for _ in range(60)
+    ]
+    assert sum(hops) / len(hops) <= 2.0 * math.log2(n) + 1

@@ -1,0 +1,103 @@
+"""Property-based tests on the fluid flow propagation invariants."""
+
+import random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fluid.coverage import novelty_schedule
+from repro.fluid.flows import build_edge_arrays, propagate_flows
+from repro.overlay.topology import TopologyConfig, generate_topology
+
+
+def run_random_case(n, m, seed, good_rate, attack_rate, capacity, up=None, down=None):
+    topo = generate_topology(TopologyConfig(n=n, ba_m=m, seed=seed))
+    adj = {u: set(vs) for u, vs in enumerate(topo.adjacency)}
+    src, dst, rev = build_edge_arrays(adj)
+    rng = random.Random(seed)
+    attack = np.zeros(len(src))
+    if attack_rate > 0:
+        agent = rng.randrange(n)
+        mask = src == agent
+        if mask.any():
+            attack[mask] = attack_rate / mask.sum()
+    sigma = novelty_schedule(topo.degrees(), 7, n=n)
+    result = propagate_flows(
+        src,
+        dst,
+        rev,
+        n,
+        good_rate=np.full(n, good_rate),
+        attack_edge_inject=attack,
+        capacity=np.full(n, capacity),
+        ttl=7,
+        sigma=sigma,
+        upstream_qpm=None if up is None else np.full(n, up),
+        downstream_qpm=None if down is None else np.full(n, down),
+    )
+    return result
+
+
+case = dict(
+    n=st.integers(min_value=8, max_value=60),
+    m=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=500),
+    good_rate=st.floats(min_value=0.0, max_value=50.0),
+    attack_rate=st.floats(min_value=0.0, max_value=50_000.0),
+    capacity=st.floats(min_value=10.0, max_value=1e6),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(**case)
+def test_flow_invariants(n, m, seed, good_rate, attack_rate, capacity):
+    if n <= m:
+        return
+    r = run_random_case(n, m, seed, good_rate, attack_rate, capacity)
+    # loss factors are probabilities
+    assert (0.0 <= r.rho).all() and (r.rho <= 1.0).all()
+    assert (0.0 <= r.omega).all() and (r.omega <= 1.0).all()
+    assert (0.0 <= r.iota).all() and (r.iota <= 1.0).all()
+    # flows are non-negative and delivered never exceeds sent
+    assert (r.edge_good >= 0).all() and (r.edge_attack >= 0).all()
+    assert (r.edge_total <= r.edge_sent_total + 1e-6).all()
+    # drop fraction is a fraction
+    assert 0.0 <= r.dropped_fraction <= 1.0
+    # good-class per-hop processed reach is non-negative
+    assert (r.good_processed_per_hop >= -1e-9).all()
+    assert (0.0 <= r.good_path_quality_per_hop).all()
+    assert (r.good_path_quality_per_hop <= 1.0 + 1e-9).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(**case)
+def test_capacity_monotonicity(n, m, seed, good_rate, attack_rate, capacity):
+    """Raising capacity can only increase delivered volume."""
+    if n <= m or (good_rate == 0 and attack_rate == 0):
+        return
+    tight = run_random_case(n, m, seed, good_rate, attack_rate, capacity)
+    loose = run_random_case(n, m, seed, good_rate, attack_rate, capacity * 10)
+    assert loose.total_messages_per_min >= tight.total_messages_per_min - 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(**case)
+def test_bandwidth_limits_only_reduce(n, m, seed, good_rate, attack_rate, capacity):
+    """Adding link constraints can only reduce delivered volume."""
+    if n <= m or (good_rate == 0 and attack_rate == 0):
+        return
+    free = run_random_case(n, m, seed, good_rate, attack_rate, capacity)
+    limited = run_random_case(
+        n, m, seed, good_rate, attack_rate, capacity, up=500.0, down=500.0
+    )
+    assert limited.total_messages_per_min <= free.total_messages_per_min + 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(**case)
+def test_no_injection_no_flow(n, m, seed, good_rate, attack_rate, capacity):
+    r = run_random_case(n, m, seed, 0.0, 0.0, capacity)
+    assert r.total_messages_per_min == 0.0
+    assert r.good_injected == 0.0
+    assert r.attack_injected == 0.0

@@ -1,0 +1,200 @@
+"""Unit tests for the DES engine."""
+
+import pytest
+
+from repro.simkit.engine import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_custom_start_time():
+    assert Simulator(start_time=5.0).now == 5.0
+
+
+def test_negative_start_time_rejected():
+    with pytest.raises(ValueError):
+        Simulator(start_time=-1.0)
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(5.0, fired.append, "b")
+    sim.schedule_at(1.0, fired.append, "a")
+    sim.schedule_at(9.0, fired.append, "c")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_fire_fifo():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule_at(3.0, fired.append, i)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_priority_orders_same_time_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(1.0, fired.append, "late", priority=5)
+    sim.schedule_at(1.0, fired.append, "early", priority=-5)
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_schedule_in_is_relative():
+    sim = Simulator()
+    times = []
+    sim.schedule_at(10.0, lambda: sim.schedule_in(5.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [15.0]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(7.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [7.5]
+    assert sim.now == 7.5
+
+
+def test_scheduling_into_past_rejected():
+    sim = Simulator()
+    sim.schedule_at(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule_in(-1.0, lambda: None)
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(1.0, fired.append, 1)
+    sim.schedule_at(50.0, fired.append, 50)
+    sim.run(until=10.0)
+    assert fired == [1]
+    assert sim.now == 10.0
+    # remaining event still fires on the next run
+    sim.run()
+    assert fired == [1, 50]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule_at(1.0, fired.append, "x")
+    assert ev.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.events_fired == 0
+
+
+def test_cancel_is_idempotent_and_reports_state():
+    sim = Simulator()
+    ev = sim.schedule_at(1.0, lambda: None)
+    assert ev.cancel() is True
+    assert ev.cancel() is False
+
+
+def test_stop_exits_loop():
+    sim = Simulator()
+    fired = []
+
+    def stopper():
+        fired.append("stop")
+        sim.stop()
+
+    sim.schedule_at(1.0, stopper)
+    sim.schedule_at(2.0, fired.append, "after")
+    sim.run()
+    assert fired == ["stop"]
+
+
+def test_max_events_limits_run():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule_at(float(i), fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_step_fires_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(1.0, fired.append, 1)
+    sim.schedule_at(2.0, fired.append, 2)
+    ev = sim.step()
+    assert fired == [1]
+    assert ev is not None and ev.time == 1.0
+    assert sim.step() is not None
+    assert sim.step() is None
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sim.schedule_in(1.0, chain, n + 1)
+
+    sim.schedule_at(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 5.0
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    ev = sim.schedule_at(1.0, lambda: None)
+    sim.schedule_at(2.0, lambda: None)
+    ev.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_drain_reports_pending_and_cancelled():
+    sim = Simulator()
+    sim.schedule_at(1.0, lambda: None)
+    ev = sim.schedule_at(2.0, lambda: None)
+    ev.cancel()
+    pending, cancelled = sim.drain()
+    assert (pending, cancelled) == (1, 1)
+    assert sim.peek_time() is None
+
+
+def test_pending_count_excludes_cancelled():
+    sim = Simulator()
+    sim.schedule_at(1.0, lambda: None)
+    sim.schedule_at(2.0, lambda: None).cancel()
+    assert sim.pending_count == 1
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule_at(1.0, reenter)
+    sim.run()
+
+
+def test_events_fired_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule_at(float(i), lambda: None)
+    sim.run()
+    assert sim.events_fired == 5

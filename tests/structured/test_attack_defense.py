@@ -1,0 +1,145 @@
+"""Tests for DHT lookup floods and the adapted defense."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.structured.attack import (
+    LookupAttackConfig,
+    LookupFlooder,
+    route_events,
+)
+from repro.structured.chord import ChordConfig, ChordRing
+from repro.structured.defense import ChordPolice, ChordPoliceConfig
+
+
+def make_ring(n=64, qpm=10_000.0, seed=1):
+    return ChordRing(ChordConfig(n_nodes=n, processing_qpm=qpm, seed=seed))
+
+
+def normal_events(ring, rng, rate_qpm=2.0, minute_start=0.0):
+    """One minute of legitimate uniform lookup events."""
+    events = []
+    per = max(1, int(rate_qpm))
+    for origin in range(ring.config.n_nodes):
+        for i in range(per):
+            t = minute_start + 60.0 * (i + rng.random()) / per
+            events.append((t, origin, rng.randrange(ring.space)))
+    return events
+
+
+def test_normal_load_succeeds():
+    ring = make_ring(qpm=600.0)
+    results = route_events(ring, normal_events(ring, random.Random(2)))
+    assert all(r.succeeded for r in results)
+
+
+def test_diffuse_flood_starves_concurrent_good_lookups():
+    ring = make_ring(qpm=600.0)
+    rng = random.Random(2)
+    flooder = LookupFlooder(
+        ring, LookupAttackConfig(agents=(0, 1), rate_qpm=5000.0, seed=2)
+    )
+    good = normal_events(ring, rng)
+    attack = flooder.events_for_minute(0.0)
+    results = route_events(ring, good + attack, weight=1.0)
+    good_origins = {origin for _, origin, _ in good}
+    good_results = [r for r in results if r.origin in good_origins and r.origin not in (0, 1)]
+    failed = sum(1 for r in good_results if not r.succeeded)
+    assert failed > 0.05 * len(good_results)
+
+
+def test_targeted_flood_concentrates_on_victim():
+    ring = make_ring(qpm=1e9)  # no drops: observe pure load shape
+    key = ring.key_for("victim-object")
+    victim = ring.owner_of(key)
+    flooder = LookupFlooder(
+        ring,
+        LookupAttackConfig(agents=(0, 1, 2), rate_qpm=1200.0, mode="targeted",
+                           target_key=key, seed=3),
+    )
+    flooder.run_minute(0.0)
+    counts = ring.roll_minute()
+    inbound = {}
+    for (src, dst), c in counts.items():
+        inbound[dst] = inbound.get(dst, 0) + c
+    # the victim receives every attack lookup's final hop
+    assert inbound.get(victim, 0) >= 3 * 1200 * 0.99
+
+
+def test_defense_cuts_flooding_links():
+    ring = make_ring(qpm=1e9)
+    agents = (0, 1)
+    flooder = LookupFlooder(
+        ring, LookupAttackConfig(agents=agents, rate_qpm=20_000.0, seed=4)
+    )
+    police = ChordPolice(ring, ChordPoliceConfig(cut_threshold=5.0))
+    flooder.run_minute(0.0)
+    cut = police.step(1.0)
+    assert cut > 0
+    assert police.suspected_nodes() & set(agents)
+
+
+def test_defense_spares_normal_load():
+    ring = make_ring(qpm=1e9)
+    rng = random.Random(5)
+    police = ChordPolice(ring, ChordPoliceConfig(normal_rate_qpm=100.0))
+    for minute in range(3):
+        route_events(ring, normal_events(ring, rng, rate_qpm=3.0,
+                                         minute_start=minute * 60.0))
+        assert police.step(float(minute)) == 0
+    assert police.links_cut == 0
+
+
+def test_defense_starves_the_flood():
+    ring = make_ring(qpm=1e9, n=64)
+    flooder = LookupFlooder(
+        ring, LookupAttackConfig(agents=(0,), rate_qpm=20_000.0, seed=6)
+    )
+    police = ChordPolice(ring, ChordPoliceConfig(cut_threshold=5.0))
+    first = flooder.run_minute(0.0)
+    police.step(1.0)
+    second = flooder.run_minute(60.0)
+    police.step(2.0)
+    third = flooder.run_minute(120.0)
+    rate = lambda rs: sum(r.succeeded for r in rs) / len(rs)
+    # receivers refuse the agent's relays: its flood success collapses
+    assert rate(third) < 0.5 * rate(first)
+
+
+def test_streaks_reset_when_quiet():
+    ring = make_ring(qpm=1e9)
+    police = ChordPolice(ring, ChordPoliceConfig(patience_minutes=2))
+    flooder = LookupFlooder(
+        ring, LookupAttackConfig(agents=(0,), rate_qpm=20_000.0, seed=7)
+    )
+    flooder.run_minute(0.0)
+    assert police.step(1.0) == 0  # first strike, patience 2
+    # quiet minute: streak resets
+    assert police.step(2.0) == 0
+    flooder.run_minute(120.0)
+    assert police.step(3.0) == 0  # streak restarted at 1
+
+
+def test_event_weight_scales_rate():
+    ring = make_ring()
+    flooder = LookupFlooder(
+        ring,
+        LookupAttackConfig(agents=(0,), rate_qpm=50_000.0, per_agent_cap=1000, seed=8),
+    )
+    assert flooder.event_weight == pytest.approx(50.0)
+    events = flooder.events_for_minute(0.0)
+    assert len(events) == 1000
+
+
+def test_attack_config_validation():
+    ring = make_ring()
+    with pytest.raises(ConfigError):
+        LookupAttackConfig(agents=(0,), rate_qpm=0)
+    with pytest.raises(ConfigError):
+        LookupAttackConfig(agents=(0,), mode="targeted")
+    with pytest.raises(ConfigError):
+        LookupFlooder(ring, LookupAttackConfig(agents=(999,), rate_qpm=10))
+    with pytest.raises(ConfigError):
+        ChordPoliceConfig(cut_threshold=0)

@@ -1,0 +1,102 @@
+"""Unit tests for the Chord ring substrate."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.structured.chord import ChordConfig, ChordRing
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return ChordRing(ChordConfig(n_nodes=128, seed=1))
+
+
+def test_unique_sorted_ids(ring):
+    ids = [ring.node_id[i] for i in ring.ring_order]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == 128
+
+
+def test_owner_is_first_at_or_after(ring):
+    for key in (0, 12345, ring.space - 1):
+        owner = ring.owner_of(key)
+        oid = ring.node_id[owner]
+        # no other node id lies in (key, oid) going clockwise
+        for idx in range(128):
+            nid = ring.node_id[idx]
+            if idx != owner and oid >= key:
+                assert not (key <= nid < oid)
+
+
+def test_lookup_finds_correct_owner(ring):
+    import random
+
+    rng = random.Random(2)
+    for _ in range(200):
+        key = rng.randrange(ring.space)
+        origin = rng.randrange(128)
+        result = ring.lookup(origin, key, now_s=0.0)
+        assert result.succeeded
+        assert result.owner == ring.owner_of(key)
+
+
+def test_lookup_hops_logarithmic(ring):
+    import random
+
+    rng = random.Random(3)
+    hops = []
+    for _ in range(300):
+        result = ring.lookup(rng.randrange(128), rng.randrange(ring.space), 0.0)
+        hops.append(result.hops)
+    mean_hops = sum(hops) / len(hops)
+    assert mean_hops <= 2.0 * math.log2(128)
+    assert max(hops) <= 2 * ring.config.id_bits
+
+
+def test_own_key_zero_relays():
+    ring = ChordRing(ChordConfig(n_nodes=16, seed=4))
+    # a key owned by the origin's immediate successor routes in one hop
+    origin = ring.ring_order[0]
+    succ = ring.successors[origin][0]
+    key = ring.node_id[succ]
+    result = ring.lookup(origin, key, 0.0)
+    assert result.owner == succ
+    assert result.hops == 1
+
+
+def test_capacity_exhaustion_drops_lookups():
+    ring = ChordRing(ChordConfig(n_nodes=32, processing_qpm=60.0, seed=5))
+    dropped_before = ring.lookups_dropped
+    import random
+
+    rng = random.Random(6)
+    for _ in range(500):
+        ring.lookup(rng.randrange(32), rng.randrange(ring.space), now_s=0.5)
+    assert ring.lookups_dropped > dropped_before
+
+
+def test_link_counters_roll():
+    ring = ChordRing(ChordConfig(n_nodes=32, seed=7))
+    ring.lookup(0, ring.space // 2, 0.0)
+    snap = ring.roll_minute()
+    assert snap  # some links were used
+    assert ring.roll_minute() == {}
+
+
+def test_key_for_stable():
+    ring = ChordRing(ChordConfig(n_nodes=16, seed=8))
+    assert ring.key_for("song.mp3") == ring.key_for("song.mp3")
+    assert ring.key_for("a") != ring.key_for("b")
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        ChordConfig(n_nodes=1)
+    with pytest.raises(ConfigError):
+        ChordConfig(id_bits=4)
+    with pytest.raises(ConfigError):
+        ChordConfig(n_nodes=10_000, id_bits=8)
+    with pytest.raises(ConfigError):
+        ChordConfig(processing_qpm=0)

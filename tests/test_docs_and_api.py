@@ -1,0 +1,78 @@
+"""Meta tests: public-API surface and documentation coverage."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.overlay",
+    "repro.fluid",
+    "repro.attack",
+    "repro.churn",
+    "repro.workload",
+    "repro.testbed",
+    "repro.baselines",
+    "repro.metrics",
+    "repro.experiments",
+    "repro.structured",
+    "repro.simkit",
+]
+
+
+def iter_modules():
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        yield pkg
+        if hasattr(pkg, "__path__"):
+            for info in pkgutil.iter_modules(pkg.__path__):
+                yield importlib.import_module(f"{pkg_name}.{info.name}")
+
+
+def test_every_module_has_a_docstring():
+    missing = [m.__name__ for m in iter_modules() if not (m.__doc__ or "").strip()]
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_every_public_class_and_function_documented():
+    undocumented = []
+    for module in iter_modules():
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if getattr(obj, "__module__", None) != module.__name__:
+                continue  # re-export
+            if not (inspect.getdoc(obj) or "").strip():
+                undocumented.append(f"{module.__name__}.{name}")
+    assert not undocumented, f"undocumented public items: {undocumented}"
+
+
+def test_top_level_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_subpackage_alls_resolve():
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        for name in getattr(pkg, "__all__", []):
+            assert getattr(pkg, name, None) is not None, f"{pkg_name}.{name}"
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_exceptions_rooted_at_repro_error():
+    from repro import errors
+
+    for name in ("ConfigError", "ProtocolError", "WireFormatError", "TopologyError"):
+        exc = getattr(errors, name)
+        assert issubclass(exc, errors.ReproError)

@@ -1,0 +1,75 @@
+"""Unit tests for the LimeWire servent queueing model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.testbed.limewire import LimewirePeerModel, ServiceParameters
+
+
+def test_calibration_anchor_capacity():
+    """47% drop at 29,000/min pins the ceiling near 15,400/min."""
+    model = LimewirePeerModel()
+    assert model.params.capacity_qpm == pytest.approx(15_400, rel=0.01)
+
+
+def test_calibration_anchor_drop_at_max_rate():
+    """Section 2.3: 'When peer A sends queries to B as fast as it is
+    capable of, 47% of the queries are dropped by peer B.'"""
+    model = LimewirePeerModel()
+    assert model.drop_rate(29_000) == pytest.approx(0.47, abs=0.01)
+
+
+def test_no_drops_below_onset():
+    """Figure 5: drops begin around 15,000/min."""
+    model = LimewirePeerModel()
+    for rate in (1_000, 5_000, 10_000, 15_000):
+        assert model.drop_rate(rate) == 0.0
+        assert model.processed_qpm(rate) == rate
+
+
+def test_processed_saturates_above_ceiling():
+    model = LimewirePeerModel()
+    assert model.processed_qpm(20_000) == model.params.capacity_qpm
+    assert model.processed_qpm(29_000) == model.params.capacity_qpm
+
+
+def test_drop_rate_monotone_in_load():
+    model = LimewirePeerModel()
+    rates = [model.drop_rate(r) for r in range(10_000, 30_000, 1_000)]
+    assert all(b >= a for a, b in zip(rates, rates[1:]))
+
+
+def test_larger_index_lowers_capacity():
+    """'Normally a peer's local index includes many contents ... which
+    reduces time for local look up' -- bigger library, lower ceiling."""
+    empty = ServiceParameters(index_entries=0)
+    loaded = ServiceParameters(index_entries=100_000)
+    assert loaded.capacity_qpm < empty.capacity_qpm
+
+
+def test_utilization():
+    model = LimewirePeerModel()
+    assert model.utilization(0) == 0.0
+    assert model.utilization(model.params.capacity_qpm) == pytest.approx(1.0)
+    assert model.utilization(1e9) == 1.0
+
+
+def test_queueing_delay_grows_with_load():
+    model = LimewirePeerModel()
+    low = model.queueing_delay_s(1_000)
+    mid = model.queueing_delay_s(12_000)
+    high = model.queueing_delay_s(16_000)
+    assert low < mid < high
+    # at overload the wait is the buffer drain time
+    assert high == pytest.approx(
+        model.params.buffer_queries * model.params.service_time_s
+    )
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        ServiceParameters(base_service_s=0)
+    with pytest.raises(ConfigError):
+        ServiceParameters(buffer_queries=0)
+    with pytest.raises(ConfigError):
+        LimewirePeerModel().processed_qpm(-1)

@@ -1,0 +1,72 @@
+"""Unit tests for the A->B->C pipeline experiment (Figures 5-6)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.testbed.pipeline import (
+    AGENT_MAX_RATE_QPM,
+    PipelineExperiment,
+    run_rate_sweep,
+)
+from repro.workload.trace import QueryTraceReader, synthesize_trace
+
+
+def test_agent_max_rate_is_29k():
+    """'peer A is capable of ... a rate of around 29,000 per minute'."""
+    assert AGENT_MAX_RATE_QPM == 29_000.0
+
+
+def test_measure_below_knee_is_lossless():
+    point = PipelineExperiment().measure(10_000)
+    assert point.processed_qpm == 10_000
+    assert point.drop_rate_pct == 0.0
+
+
+def test_measure_above_knee_drops():
+    point = PipelineExperiment().measure(29_000)
+    assert point.drop_rate_pct == pytest.approx(47.0, abs=1.0)
+
+
+def test_send_rate_capped_by_agent_max():
+    point = PipelineExperiment().measure(50_000)
+    assert point.sent_qpm == 29_000
+
+
+def test_default_sweep_covers_figure5_axis():
+    points = run_rate_sweep()
+    assert len(points) == 29
+    assert points[0].sent_qpm == 1_000
+    assert points[-1].sent_qpm == 29_000
+    # processed is monotone nondecreasing, flat after the knee
+    processed = [p.processed_qpm for p in points]
+    assert all(b >= a for a, b in zip(processed, processed[1:]))
+    assert processed[-1] == processed[-5]  # plateau
+
+
+def test_figure6_shape():
+    points = run_rate_sweep()
+    drops = [p.drop_rate_pct for p in points]
+    assert drops[0] == 0.0
+    assert all(b >= a - 1e-9 for a, b in zip(drops, drops[1:]))
+    assert drops[-1] > 40.0
+
+
+def test_replay_trace_through_pipeline(tmp_path):
+    path = synthesize_trace(tmp_path / "t.log", num_queries=2000, duration_s=60.0, seed=2)
+    exp = PipelineExperiment()
+    point = exp.replay_trace(QueryTraceReader(path), send_rate_qpm=12_000, duration_min=0.5)
+    assert point.sent_qpm == pytest.approx(12_000, rel=0.01)
+    assert point.drop_rate_pct == 0.0
+
+
+def test_replay_trace_validation(tmp_path):
+    path = synthesize_trace(tmp_path / "t.log", num_queries=10, duration_s=1.0, seed=3)
+    with pytest.raises(ConfigError):
+        PipelineExperiment().replay_trace(QueryTraceReader(path), 1000, duration_min=0)
+
+
+def test_measure_validation():
+    with pytest.raises(ConfigError):
+        PipelineExperiment().measure(-1)
+    with pytest.raises(ConfigError):
+        PipelineExperiment(agent_max_rate_qpm=0)

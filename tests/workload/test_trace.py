@@ -1,0 +1,101 @@
+"""Unit tests for the query-trace format (Section 2.3 monitoring node)."""
+
+import pytest
+
+from repro.errors import ConfigError, WireFormatError
+from repro.workload.trace import (
+    QueryTraceReader,
+    QueryTraceWriter,
+    TraceRecord,
+    synthesize_trace,
+)
+
+
+def test_record_roundtrip():
+    rec = TraceRecord(12.5, "ab" * 16, "red song id3")
+    parsed = TraceRecord.from_line(rec.to_line())
+    assert parsed == rec
+
+
+def test_record_validation():
+    with pytest.raises(ConfigError):
+        TraceRecord(-1.0, "ab" * 16, "x")
+    with pytest.raises(ConfigError):
+        TraceRecord(0.0, "abcd", "x")
+
+
+def test_malformed_lines_rejected():
+    with pytest.raises(WireFormatError):
+        TraceRecord.from_line("only two\tfields")
+    with pytest.raises(WireFormatError):
+        TraceRecord.from_line("notafloat\t" + "ab" * 16 + "\tsearch")
+
+
+def test_writer_reader_roundtrip(tmp_path):
+    path = tmp_path / "trace.log"
+    records = [TraceRecord(float(i), f"{i:032x}", f"query {i}") for i in range(10)]
+    with QueryTraceWriter(path) as w:
+        for rec in records:
+            w.write(rec)
+        assert w.records_written == 10
+    assert QueryTraceReader(path).read_all() == records
+
+
+def test_reader_missing_file():
+    with pytest.raises(ConfigError):
+        QueryTraceReader("/nonexistent/trace.log")
+
+
+def test_replay_cyclic_wraps(tmp_path):
+    path = tmp_path / "trace.log"
+    with QueryTraceWriter(path) as w:
+        for i in range(3):
+            w.write(TraceRecord(float(i), f"{i:032x}", f"q{i}"))
+    replayed = list(QueryTraceReader(path).replay_cyclic(8))
+    assert len(replayed) == 8
+    assert [r.search_string for r in replayed[:4]] == ["q0", "q1", "q2", "q0"]
+
+
+def test_replay_cyclic_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.log"
+    path.write_text("")
+    with pytest.raises(ConfigError):
+        list(QueryTraceReader(path).replay_cyclic(1))
+
+
+def test_synthesize_trace_shape(tmp_path):
+    path = synthesize_trace(tmp_path / "synth.log", num_queries=500, duration_s=100.0, seed=1)
+    records = QueryTraceReader(path).read_all()
+    assert len(records) == 500
+    times = [r.timestamp_s for r in records]
+    assert times == sorted(times)
+    assert all(0 <= t <= 100.0 for t in times)
+    # Zipf skew: the most common search string dominates
+    from collections import Counter
+
+    top = Counter(r.search_string for r in records).most_common(1)[0][1]
+    assert top > 500 / 50
+
+
+def test_gzip_roundtrip(tmp_path):
+    path = tmp_path / "trace.log.gz"
+    records = [TraceRecord(float(i), f"{i:032x}", f"query {i}") for i in range(50)]
+    with QueryTraceWriter(path) as w:
+        for rec in records:
+            w.write(rec)
+    # actually compressed on disk
+    assert path.read_bytes()[:2] == b"\x1f\x8b"
+    assert QueryTraceReader(path).read_all() == records
+
+
+def test_gzip_synthesize(tmp_path):
+    path = synthesize_trace(tmp_path / "synth.log.gz", num_queries=100,
+                            duration_s=10.0, seed=4)
+    assert len(QueryTraceReader(path).read_all()) == 100
+
+
+def test_synthesize_validation(tmp_path):
+    with pytest.raises(ConfigError):
+        synthesize_trace(tmp_path / "x.log", num_queries=0)
+    with pytest.raises(ConfigError):
+        synthesize_trace(tmp_path / "x.log", duration_s=0)
