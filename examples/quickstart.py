@@ -79,7 +79,7 @@ def main() -> None:
     print(f"query success rate:  {100 * network.success_rate():.1f}%")
     if detections:
         first = min(detections, key=lambda j: j.time)
-        print(f"\nDD-POLICE verdicts against the attacker:")
+        print("\nDD-POLICE verdicts against the attacker:")
         for j in sorted(detections, key=lambda j: j.time):
             print(f"  t={j.time:6.1f}s  observer {j.observer.ipv4} "
                   f"g={j.g_value:7.1f} s={j.s_value:7.1f} -> disconnected")

@@ -65,6 +65,9 @@ class ChurnProcess:
         #: Peers that never churn (e.g. to keep attackers persistent in
         #: specific scenarios). Empty by default: attackers churn too.
         self.pinned: Set[PeerId] = set(pinned or ())
+        #: Fail-stopped peers (see ``fail_stop``): withheld from the host
+        #: cache and never allowed to rejoin.
+        self.failed: Set[PeerId] = set()
         self.join_listeners: List[Callable[[PeerId], None]] = []
         self.leave_listeners: List[Callable[[PeerId], None]] = []
         self.joins = 0
@@ -102,9 +105,19 @@ class ChurnProcess:
             listener(pid)
         self.sim.schedule_in(self._offtimes.sample(), self._join, pid)
 
+    def fail_stop(self, pid: PeerId) -> None:
+        """Mark ``pid`` permanently dead (fault-injected crash).
+
+        The caller takes the peer offline; this only prevents any pending
+        or future ``_join`` from resurrecting it and keeps it out of the
+        host cache's candidate set.
+        """
+        self.failed.add(pid)
+        self.hostcache.mark_offline(pid)
+
     def _join(self, pid: PeerId) -> None:
         peer = self.network.peers[pid]
-        if peer.online:
+        if peer.online or pid in self.failed:
             return
         self.joins += 1
         peer.go_online()

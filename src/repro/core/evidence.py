@@ -40,6 +40,12 @@ class Investigation:
     outcome: InvestigationOutcome = InvestigationOutcome.PENDING
     g_value: Optional[float] = None
     s_value: Optional[float] = None
+    #: Collection-window extensions granted so far (quorum rule).
+    window_extensions: int = 0
+    #: Re-requests already sent for this investigation (retry rule).
+    retries_used: int = 0
+    #: Source timestamps of accepted reports, for stale-report rejection.
+    report_times: Dict[Hashable, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.observer == self.suspect:
@@ -52,8 +58,20 @@ class Investigation:
             raise ConfigError("own counts must be non-negative")
 
     # ------------------------------------------------------------------
-    def add_report(self, member: Hashable, report: NeighborReport) -> bool:
+    def add_report(
+        self,
+        member: Hashable,
+        report: NeighborReport,
+        *,
+        timestamp: Optional[int] = None,
+    ) -> bool:
         """Record a member's report; late/unexpected members are ignored.
+
+        With a ``timestamp`` (the message's source timestamp), a report
+        older than one already held from the same member is rejected --
+        a delayed/reordered duplicate must not overwrite fresher
+        evidence. Re-delivery of the same report (equal timestamp) is
+        idempotent: it overwrites with identical data.
 
         Returns True if the report was accepted.
         """
@@ -61,6 +79,11 @@ class Investigation:
             return False
         if member not in self.expected_members:
             return False
+        if timestamp is not None:
+            prev = self.report_times.get(member)
+            if prev is not None and timestamp < prev:
+                return False
+            self.report_times[member] = timestamp
         self.reports[member] = report
         return True
 
@@ -72,6 +95,19 @@ class Investigation:
     @property
     def missing_members(self) -> FrozenSet[Hashable]:
         return frozenset(self.expected_members - set(self.reports.keys()))
+
+    @property
+    def received_fraction(self) -> float:
+        """Fraction of expected members heard from (1.0 when none expected)."""
+        if not self.expected_members:
+            return 1.0
+        return len(set(self.reports) & set(self.expected_members)) / len(
+            self.expected_members
+        )
+
+    def quorum_met(self, quorum: float) -> bool:
+        """True once at least ``quorum`` of the expected reports are in."""
+        return self.received_fraction >= quorum
 
     # ------------------------------------------------------------------
     def decide(self, config: DDPoliceConfig) -> InvestigationOutcome:
@@ -102,6 +138,19 @@ class Investigation:
         if g > config.cut_threshold or s > config.cut_threshold:
             self.outcome = InvestigationOutcome.CONVICTED
         else:
+            self.outcome = InvestigationOutcome.CLEARED
+        return self.outcome
+
+    def abstain(self) -> InvestigationOutcome:
+        """Settle as CLEARED without computing indicators.
+
+        Used when the quorum rule refuses to judge on too little
+        evidence (after the window extensions are exhausted). Indicators
+        are NaN: no claim about the suspect's rate is being made.
+        """
+        if self.outcome is InvestigationOutcome.PENDING:
+            self.g_value = float("nan")
+            self.s_value = float("nan")
             self.outcome = InvestigationOutcome.CLEARED
         return self.outcome
 

@@ -29,6 +29,10 @@ class ListSnapshot:
     owner: Hashable
     neighbors: FrozenSet[Hashable]
     received_at: float
+    #: Sender-side send time, when the message carried one. Lets the
+    #: directory reject a stale list delivered (reordered) after a
+    #: fresher one.
+    sent_at: Optional[float] = None
 
 
 class NeighborListDirectory:
@@ -42,10 +46,32 @@ class NeighborListDirectory:
     def __init__(self) -> None:
         self._lists: Dict[Hashable, ListSnapshot] = {}
 
-    def update(self, owner: Hashable, neighbors: Set[Hashable], now: float) -> None:
+    def update(
+        self,
+        owner: Hashable,
+        neighbors: Set[Hashable],
+        now: float,
+        *,
+        sent_at: Optional[float] = None,
+    ) -> bool:
+        """Store ``owner``'s list; returns False if rejected as stale.
+
+        A list is stale when both the held and the incoming snapshot
+        carry ``sent_at`` stamps and the incoming one was sent strictly
+        earlier -- i.e. the network reordered (or duplicated-with-delay)
+        the exchanges. Equal stamps overwrite idempotently.
+        """
+        if sent_at is not None:
+            held = self._lists.get(owner)
+            if held is not None and held.sent_at is not None and sent_at < held.sent_at:
+                return False
         self._lists[owner] = ListSnapshot(
-            owner=owner, neighbors=frozenset(neighbors), received_at=now
+            owner=owner,
+            neighbors=frozenset(neighbors),
+            received_at=now,
+            sent_at=sent_at,
         )
+        return True
 
     def forget(self, owner: Hashable) -> None:
         self._lists.pop(owner, None)

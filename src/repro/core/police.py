@@ -80,6 +80,13 @@ class DDPoliceEngine:
         self.disconnects_issued = 0
         self.pings_sent = 0
         self.pongs_received = 0
+        # Hardening counters (all stay 0 under the paper-literal config).
+        self.report_retries_sent = 0
+        self.window_extensions_used = 0
+        self.quorum_abstentions = 0
+        self.list_retransmits_sent = 0
+        self.stale_lists_rejected = 0
+        self.stale_reports_rejected = 0
         # Liveness: directory owners we pinged and are awaiting a Pong
         # from; two missed rounds evict the entry ("A peer pings members
         # within the same BG periodically to make sure that other members
@@ -87,6 +94,9 @@ class DDPoliceEngine:
         self._awaiting_pong: Dict[PeerId, int] = {}
         # Rate limiter for confirmation list exchanges with non-neighbors.
         self._list_courtesy: Dict[PeerId, float] = {}
+        # Last time each peer's list reached us -- the implicit ack that
+        # cancels a pending exchange retransmission.
+        self._last_list_from: Dict[PeerId, float] = {}
         self._stopped = False
 
         peer.control_handlers.append(self._on_control)
@@ -121,24 +131,72 @@ class DDPoliceEngine:
     # ------------------------------------------------------------------
     # step 1: neighbor-list exchange
     # ------------------------------------------------------------------
-    def _broadcast_list(self) -> None:
-        if not self.peer.online or not self.peer.neighbors:
-            return
-        msg = NeighborListMessage(
+    def _make_list_msg(self) -> NeighborListMessage:
+        return NeighborListMessage(
             guid=self.network.guid_factory.new(),
             ttl=1,
             hops=0,
             sender=self.peer.id,
             neighbors=frozenset(self.peer.neighbors),
+            sent_at=self.network.now,
         )
+
+    def _broadcast_list(self) -> None:
+        if not self.peer.online or not self.peer.neighbors:
+            return
+        msg = self._make_list_msg()
+        now = self.network.now
         for nb in list(self.peer.neighbors):
             self.peer.send_control(nb, msg)
             self.lists_sent += 1
+            if self.config.exchange_retransmit_limit > 0:
+                self.network.sim.schedule_in(
+                    self.config.exchange_retransmit_timeout_s,
+                    self._maybe_retransmit_list,
+                    nb,
+                    now,
+                    1,
+                )
+
+    def _maybe_retransmit_list(
+        self, nb: PeerId, sent_at: float, attempt: int
+    ) -> None:
+        """Re-send our list to a neighbor that stayed silent.
+
+        Hearing *anything* list-shaped from ``nb`` after our send is the
+        implicit ack: the link works and both directories are fresh. A
+        silent neighbor gets our (current) list again, up to the
+        configured retransmit limit.
+        """
+        if self._stopped or not self.peer.online or nb not in self.peer.neighbors:
+            return
+        if self._last_list_from.get(nb, float("-inf")) >= sent_at:
+            return
+        self.list_retransmits_sent += 1
+        msg = self._make_list_msg()
+        self.peer.send_control(nb, msg)
+        self.lists_sent += 1
+        if attempt < self.config.exchange_retransmit_limit:
+            self.network.sim.schedule_in(
+                self.config.exchange_retransmit_timeout_s,
+                self._maybe_retransmit_list,
+                nb,
+                self.network.now,
+                attempt + 1,
+            )
 
     def _on_neighbor_list(self, src: PeerId, msg: NeighborListMessage) -> None:
         if msg.sender is None:
             raise ProtocolError("neighbor list without sender")
-        self.directory.update(msg.sender, set(msg.neighbors), self.network.now)
+        self._last_list_from[src] = self.network.now
+        if not self.directory.update(
+            msg.sender, set(msg.neighbors), self.network.now, sent_at=msg.sent_at
+        ):
+            # Reordered/duplicated stale list: fresher evidence already
+            # held, so neither the directory nor the consistency checks
+            # may regress to it.
+            self.stale_lists_rejected += 1
+            return
         # "they will confirm the correctness of the lists with the
         # corresponding peers": ask claimed peers whose list we lack (or
         # hold only a stale copy of) to exchange lists with us (they
@@ -164,14 +222,7 @@ class DDPoliceEngine:
         if last is not None and now - last < self.config.exchange_period_s:
             return
         self._list_courtesy[target] = now
-        msg = NeighborListMessage(
-            guid=self.network.guid_factory.new(),
-            ttl=1,
-            hops=0,
-            sender=self.peer.id,
-            neighbors=frozenset(self.peer.neighbors),
-        )
-        self.network.transmit(self.peer.id, target, msg)
+        self.network.transmit(self.peer.id, target, self._make_list_msg())
         self.lists_sent += 1
 
     def _check_consistency(self, owner: PeerId, claimed: Set[PeerId]) -> None:
@@ -257,7 +308,9 @@ class DDPoliceEngine:
     # step 2: traffic monitoring
     # ------------------------------------------------------------------
     def _on_minute(self, minute: int, now: float) -> None:
-        if not self.peer.online:
+        # A stopped engine stays subscribed to the network's minute
+        # listeners; it must not keep opening investigations.
+        if self._stopped or not self.peer.online:
             return
         self.monitor.record_window(
             minute, self.peer.last_minute_out, self.peer.last_minute_in
@@ -298,18 +351,63 @@ class DDPoliceEngine:
         self.network.sim.schedule_in(
             self.config.collection_window_s, self._conclude, suspect
         )
+        if self.config.report_retry_limit > 0 and expected:
+            self.network.sim.schedule_in(
+                self.config.report_retry_backoff_s, self._retry_missing, suspect
+            )
 
-    def _send_reports(self, suspect: PeerId, members: Set[PeerId]) -> None:
-        """Send our Neighbor_Traffic numbers to the other BG members."""
-        now = self.network.now
-        last = self._last_report_sent.get(suspect)
-        if last is not None and now - last < self.config.report_dedup_window_s:
+    def _retry_missing(self, suspect: PeerId) -> None:
+        """Re-request reports from members still silent (hardening).
+
+        Each attempt sends our own (possibly cheated) numbers again with
+        ``is_retry`` set, asking the member to answer us directly even
+        inside its dedup window. Attempts back off exponentially; the
+        chain dies with the investigation, so retries are bounded by the
+        (possibly quorum-extended) collection window. Retries recover
+        evidence *about* others -- a cheating member's reply still goes
+        through its own cheat strategy, so retrying never helps a liar.
+        """
+        if self._stopped or not self.peer.online:
             return
-        self._last_report_sent[suspect] = now
+        inv = self._investigations.get(suspect)
+        if inv is None or inv.outcome is not InvestigationOutcome.PENDING:
+            return
+        if inv.retries_used >= self.config.report_retry_limit:
+            return
+        missing = inv.missing_members
+        if not missing:
+            return
+        inv.retries_used += 1
+        self.report_retries_sent += 1
+        self._send_reports(suspect, set(missing), is_retry=True, force=True)
+        if inv.retries_used < self.config.report_retry_limit:
+            delay = self.config.report_retry_backoff_s * (2 ** inv.retries_used)
+            self.network.sim.schedule_in(delay, self._retry_missing, suspect)
+
+    def _send_reports(
+        self,
+        suspect: PeerId,
+        members: Set[PeerId],
+        *,
+        is_retry: bool = False,
+        force: bool = False,
+    ) -> None:
+        """Send our Neighbor_Traffic numbers to the other BG members.
+
+        ``force`` bypasses the 5 s dedup window without updating its
+        stamp -- used for retry re-requests and for direct answers to
+        them, which must go out even when we reported recently.
+        """
+        now = self.network.now
+        if not force:
+            last = self._last_report_sent.get(suspect)
+            if last is not None and now - last < self.config.report_dedup_window_s:
+                return
+            self._last_report_sent[suspect] = now
         out_q, in_q = self.monitor.report_pair(suspect)
         reported = apply_cheat(self.cheat_strategy, out_q, in_q)
         if reported is None:
-            return  # SILENT: refuse to report
+            return  # SILENT: refuse to report (retries don't change this)
         rep_out, rep_in = reported
         for member in members:
             msg = NeighborTrafficMessage(
@@ -321,6 +419,7 @@ class DDPoliceEngine:
                 timestamp=int(now),
                 outgoing_queries=rep_out,
                 incoming_queries=rep_in,
+                is_retry=is_retry,
             )
             self.peer.send_control(member, msg)
             self.reports_sent += 1
@@ -333,6 +432,12 @@ class DDPoliceEngine:
         if suspect == self.peer.id:
             return  # gossip about ourselves; nothing to do
         if suspect not in self.peer.neighbors:
+            if msg.is_retry:
+                # A direct re-request: the asker needs our answer (even a
+                # zero count) to reach its quorum. Answer it alone, past
+                # the dedup window.
+                self._send_reports(suspect, {msg.source}, force=True)
+                return
             # No longer (or not yet) in this buddy group, but the question
             # is about the *last minute*: answer the group from our
             # retained counters so a just-closed connection still counts.
@@ -346,19 +451,34 @@ class DDPoliceEngine:
             return
         inv = self._investigations.get(suspect)
         if inv is None:
+            if msg.is_retry:
+                # A re-request is a poll, not an alarm: answer it, but do
+                # not open an investigation we would never have joined
+                # had the (lost) original arrived -- otherwise retries
+                # recruit extra judges and each one is a fresh chance to
+                # misjudge under the very loss being mitigated.
+                self._send_reports(suspect, {msg.source}, force=True)
+                return
             # A buddy noticed before we did: join the investigation.
             self._open_investigation(suspect)
             inv = self._investigations.get(suspect)
             if inv is None:
                 return
-        inv.add_report(
+        accepted = inv.add_report(
             msg.source,
             NeighborReport(
                 member=msg.source.value,
                 outgoing=msg.outgoing_queries,
                 incoming=msg.incoming_queries,
             ),
+            timestamp=msg.timestamp,
         )
+        if not accepted and msg.source in inv.report_times:
+            self.stale_reports_rejected += 1
+        if msg.is_retry:
+            # Answer the asker directly (is_retry=False on the reply, so
+            # two observers re-requesting each other cannot loop).
+            self._send_reports(suspect, {msg.source}, force=True)
         # "it will check whether it has sent a Neighbor_Traffic message to
         # other members in this BG in past 5 seconds. If not, it will send
         # such a message" -- handled by the dedup window in _send_reports.
@@ -367,8 +487,41 @@ class DDPoliceEngine:
             self._conclude(suspect)
 
     def _conclude(self, suspect: PeerId) -> None:
+        # The timer survives stop(); a stopped engine must not judge.
+        if self._stopped:
+            return
         inv = self._investigations.get(suspect)
         if inv is None or inv.outcome is not InvestigationOutcome.PENDING:
+            return
+        quorum = self.config.report_quorum
+        if quorum > 0.0 and not inv.quorum_met(quorum):
+            if inv.window_extensions < self.config.quorum_extension_limit:
+                # Too little evidence to judge on assumed zeros: extend
+                # the window, which also gives backed-off retries time.
+                inv.window_extensions += 1
+                self.window_extensions_used += 1
+                self.network.sim.schedule_in(
+                    self.config.collection_window_s, self._conclude, suspect
+                )
+                return
+            # Still below quorum after extending: abstain. Convicting
+            # here would mean cutting on mostly-assumed zeros -- exactly
+            # the loss-driven false negatives the quorum exists to stop.
+            self.quorum_abstentions += 1
+            inv.abstain()
+            g, s = inv.indicator_pair()
+            self.judgments.record(
+                Judgment(
+                    time=self.network.now,
+                    observer=self.peer.id,
+                    suspect=suspect,
+                    g_value=g,
+                    s_value=s,
+                    disconnected=False,
+                    reason="quorum_unmet",
+                )
+            )
+            self._investigations.pop(suspect, None)
             return
         outcome = inv.decide(self.config)
         g, s = inv.indicator_pair()

@@ -38,6 +38,14 @@ _HEADER_STRUCT = struct.Struct("<16sBBBI")  # GUID, kind, ttl, hops, length
 _TRAFFIC_BODY_STRUCT = struct.Struct(">4s4sIII")
 
 
+def _decode_addr(raw: bytes, what: str) -> PeerId:
+    """Decode a 4-byte address field, mapping any defect to the wire error."""
+    try:
+        return PeerId.from_ipv4_bytes(raw)
+    except ValueError as exc:
+        raise WireFormatError(f"bad {what} address: {exc}") from exc
+
+
 @dataclass(frozen=True)
 class GnutellaHeader:
     """Parsed 23-byte Gnutella message header."""
@@ -126,8 +134,8 @@ def decode_neighbor_traffic(raw: bytes) -> NeighborTrafficMessage:
         guid=header.guid,
         ttl=header.ttl,
         hops=header.hops,
-        source=PeerId.from_ipv4_bytes(src_raw),
-        suspect=PeerId.from_ipv4_bytes(sus_raw),
+        source=_decode_addr(src_raw, "source"),
+        suspect=_decode_addr(sus_raw, "suspect"),
         timestamp=ts,
         outgoing_queries=out_q,
         incoming_queries=in_q,
@@ -169,7 +177,7 @@ def decode_neighbor_list(raw: bytes) -> NeighborListMessage:
         )
     if len(body) < 6:
         raise WireFormatError("neighbor-list body too short")
-    sender = PeerId.from_ipv4_bytes(body[:4])
+    sender = _decode_addr(body[:4], "sender")
     (count,) = struct.unpack(">H", body[4:6])
     expected = 6 + 4 * count
     if len(body) != expected:
@@ -179,7 +187,7 @@ def decode_neighbor_list(raw: bytes) -> NeighborListMessage:
     neighbors = []
     for i in range(count):
         off = 6 + 4 * i
-        neighbors.append(PeerId.from_ipv4_bytes(body[off : off + 4]))
+        neighbors.append(_decode_addr(body[off : off + 4], "neighbor"))
     return NeighborListMessage(
         guid=header.guid,
         ttl=header.ttl,

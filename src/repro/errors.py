@@ -15,8 +15,14 @@ class ProtocolError(ReproError):
     """Violation of the overlay or DD-POLICE protocol state machine."""
 
 
-class WireFormatError(ReproError, ValueError):
-    """Malformed on-the-wire message bytes."""
+class WireFormatError(ProtocolError, ValueError):
+    """Malformed on-the-wire message bytes.
+
+    Subclasses :class:`ProtocolError`: a corrupted frame is a protocol
+    violation, and callers of the decoders are guaranteed to never see
+    anything outside the ProtocolError hierarchy (no ``struct.error``,
+    no bare ``ValueError``/``IndexError``).
+    """
 
 
 class TopologyError(ReproError, ValueError):

@@ -18,6 +18,8 @@ from repro.churn.process import ChurnConfig, ChurnProcess
 from repro.core.config import DDPoliceConfig
 from repro.core.police import deploy_ddpolice
 from repro.errors import ConfigError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.metrics.collectors import MetricsCollector
 from repro.metrics.errors import ErrorCounts, JudgmentLog
 from repro.overlay.content import ContentCatalog, ContentConfig
@@ -51,6 +53,11 @@ class DESConfig:
     defense: str = "none"
     police: DDPoliceConfig = DDPoliceConfig()
     naive_cutoff_qpm: float = 500.0
+    #: Fault schedule executed against the run (empty plan = no injector
+    #: attached, transmit path untouched). Random crash / fail-slow
+    #: victims are drawn from the *good* population so the ground-truth
+    #: error accounting stays meaningful; explicit peer lists override.
+    faults: FaultPlan = FaultPlan()
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -75,6 +82,7 @@ class DESRun:
     scenario: Optional[AttackScenario]
     judgments: Optional[JudgmentLog]
     bad_peers: Set[PeerId] = field(default_factory=set)
+    injector: Optional[FaultInjector] = None
 
     @property
     def success_rate(self) -> float:
@@ -131,6 +139,11 @@ def run_des_experiment(config: DESConfig) -> DESRun:
         )
         bad_peers = set(scenario.compromised)
 
+    injector: Optional[FaultInjector] = None
+    if config.faults.enabled:
+        injector = FaultInjector(config.faults, rngs)
+        injector.attach(network, churn=churn, protected=tuple(sorted(bad_peers)))
+
     judgments: Optional[JudgmentLog] = None
     if config.defense == "ddpolice":
         engines = deploy_ddpolice(
@@ -164,4 +177,5 @@ def run_des_experiment(config: DESConfig) -> DESRun:
         scenario=scenario,
         judgments=judgments,
         bad_peers=bad_peers,
+        injector=injector,
     )

@@ -83,3 +83,76 @@ def active_scale() -> Scale:
     if name == "bench":
         return bench_scale()
     raise ConfigError(f"unknown REPRO_SCALE {name!r} (bench|paper|smoke)")
+
+
+# ----------------------------------------------------------------------
+# fault-robustness sweep (message-level; not a paper figure)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultSweepSpec:
+    """Grid for the loss x crash robustness sweep.
+
+    Message-level (DES) runs, so the populations are much smaller than
+    the fluid-model scales above: every Neighbor_Traffic message is
+    real, which is precisely what the fault layer perturbs. Attackers
+    flood but *report honestly*, so any false negative at loss 0 is a
+    protocol artifact and every additional one under loss is
+    attributable to injected faults.
+    """
+
+    name: str
+    n_peers: int
+    sim_minutes: int
+    attack_start_min: int
+    trials: int
+    loss_fractions: Tuple[float, ...]
+    crash_counts: Tuple[int, ...]
+    num_agents: int
+    attack_rate_qpm: float
+
+    def __post_init__(self) -> None:
+        if self.n_peers < 10:
+            raise ConfigError("n_peers must be >= 10")
+        if self.sim_minutes <= self.attack_start_min:
+            raise ConfigError("sim_minutes must exceed attack_start_min")
+        if self.trials < 1:
+            raise ConfigError("trials must be >= 1")
+        if not self.loss_fractions or not self.crash_counts:
+            raise ConfigError("loss_fractions and crash_counts must be non-empty")
+        if any(not (0.0 <= p <= 1.0) for p in self.loss_fractions):
+            raise ConfigError("loss fractions must be in [0, 1]")
+        if any(c < 0 for c in self.crash_counts):
+            raise ConfigError("crash counts must be non-negative")
+        if not (0 < self.num_agents < self.n_peers):
+            raise ConfigError("num_agents out of range")
+        if self.attack_rate_qpm <= 0:
+            raise ConfigError("attack_rate_qpm must be positive")
+
+
+def fault_sweep_spec() -> FaultSweepSpec:
+    """Fault-sweep grid for the active ``REPRO_SCALE``."""
+    name = os.environ.get("REPRO_SCALE", "bench").lower()
+    if name == "smoke":
+        return FaultSweepSpec(
+            name="smoke",
+            n_peers=40,
+            sim_minutes=5,
+            attack_start_min=1,
+            trials=1,
+            loss_fractions=(0.0, 0.3),
+            crash_counts=(0,),
+            num_agents=2,
+            attack_rate_qpm=600.0,
+        )
+    return FaultSweepSpec(
+        name=name,
+        n_peers=40,
+        sim_minutes=6,
+        attack_start_min=2,
+        trials=3,
+        loss_fractions=(0.0, 0.1, 0.2, 0.3),
+        crash_counts=(0, 2),
+        num_agents=2,
+        attack_rate_qpm=600.0,
+    )

@@ -1,0 +1,38 @@
+"""Fault injection: degraded-network conditions for the message-level DES.
+
+The paper evaluates DD-POLICE on lossless, instantly-delivered control
+messages; its own evidence rule ("missing report => assume 0", Section
+3.3) makes the judgment error rates sensitive to lost or late
+Neighbor_Traffic messages. This package models the conditions a real
+overlay runs under -- probabilistic loss, duplication, latency spikes
+and reordering, fail-stop crashes, fail-slow peers -- as a scriptable
+:class:`FaultPlan` executed by a :class:`FaultInjector` hooked into
+:meth:`repro.overlay.network.OverlayNetwork.transmit` and the churn
+process. All randomness is drawn from named ``simkit.rng`` streams so
+any faulted run replays exactly from its seed.
+"""
+
+from repro.faults.plan import (
+    CONTROL_KINDS,
+    CrashRule,
+    DelayRule,
+    DuplicateRule,
+    FailSlowRule,
+    FaultPlan,
+    FaultWindow,
+    LossRule,
+)
+from repro.faults.injector import FaultInjector, FaultStats
+
+__all__ = [
+    "CONTROL_KINDS",
+    "CrashRule",
+    "DelayRule",
+    "DuplicateRule",
+    "FailSlowRule",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "FaultWindow",
+    "LossRule",
+]

@@ -1,0 +1,212 @@
+"""Fault plan execution against a live :class:`OverlayNetwork`.
+
+The injector sits on the network's transmit path (loss, duplication,
+latency) and on the simulator clock (crashes, fail-slow windows). Every
+random draw comes from a named ``simkit.rng`` stream -- ``faults.loss``,
+``faults.duplicate``, ``faults.delay``, ``faults.crash``,
+``faults.failslow`` -- so a faulted run is reproducible from its seed
+and adding one fault category never perturbs the draws of another.
+
+Fail-stop semantics: a crashed peer simply goes offline. No Bye is sent
+and neighbors are *not* notified -- their neighbor sets keep the dead
+entry and messages to it vanish, exactly the silence DD-POLICE's
+"missing report => assume 0" rule is sensitive to. With a churn process
+attached, crashed peers are withheld from the host cache and never
+rejoin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ConfigError
+from repro.faults.plan import CrashRule, FailSlowRule, FaultPlan
+from repro.overlay.ids import PeerId
+from repro.overlay.message import Message
+from repro.simkit.rng import RngRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.churn.process import ChurnProcess
+    from repro.overlay.network import OverlayNetwork
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did (per run)."""
+
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    messages_delayed: int = 0
+    crashes: int = 0
+    fail_slow_applied: int = 0
+    fail_slow_restored: int = 0
+    dropped_by_kind: Dict[str, int] = field(default_factory=dict)
+
+
+class FaultInjector:
+    """Executes one :class:`FaultPlan` against one network."""
+
+    def __init__(self, plan: FaultPlan, rng_registry: RngRegistry) -> None:
+        self.plan = plan
+        self.rngs = rng_registry
+        self.stats = FaultStats()
+        self.crashed: Set[PeerId] = set()
+        self.network: Optional["OverlayNetwork"] = None
+        self._churn: Optional["ChurnProcess"] = None
+        self._protected: Set[PeerId] = set()
+        # Original processing rates of currently-degraded peers.
+        self._degraded: Dict[PeerId, float] = {}
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        network: "OverlayNetwork",
+        *,
+        churn: Optional["ChurnProcess"] = None,
+        protected: Tuple[PeerId, ...] = (),
+    ) -> None:
+        """Hook into ``network`` and arm the scheduled rules.
+
+        ``protected`` peers are never selected as random crash or
+        fail-slow victims (explicit ``peers`` lists override this).
+        """
+        if self.network is not None:
+            raise ConfigError("injector is already attached")
+        self.network = network
+        self._churn = churn
+        self._protected = set(protected)
+        network.fault_injector = self
+        for rule in self.plan.crashes:
+            network.sim.schedule_at(rule.at_s, self._execute_crash, rule)
+        for rule in self.plan.fail_slow:
+            network.sim.schedule_at(rule.window.start_s, self._begin_fail_slow, rule)
+
+    # ------------------------------------------------------------------
+    # transmit-path faults (called by OverlayNetwork.transmit)
+    # ------------------------------------------------------------------
+    def shape_transmit(
+        self, src: PeerId, dst: PeerId, msg: Message, delay: float
+    ) -> Optional[float]:
+        """Apply loss/delay/duplication to one message.
+
+        Returns the (possibly inflated) delivery delay, or ``None`` if
+        the message is dropped in flight.
+        """
+        assert self.network is not None, "injector not attached"
+        now = self.network.now
+        for rule in self.plan.loss:
+            if rule.matches(now, src.value, dst.value, msg.kind):
+                if self.rngs.stream("faults.loss").random() < rule.probability:
+                    self.stats.messages_dropped += 1
+                    by_kind = self.stats.dropped_by_kind
+                    by_kind[msg.kind.name] = by_kind.get(msg.kind.name, 0) + 1
+                    return None
+        for rule in self.plan.delay:
+            if rule.matches(now, msg.kind):
+                rng = self.rngs.stream("faults.delay")
+                if rng.random() < rule.probability:
+                    delay += rng.uniform(rule.min_extra_s, rule.max_extra_s)
+                    self.stats.messages_delayed += 1
+        for rule in self.plan.duplicate:
+            if rule.matches(now, msg.kind):
+                rng = self.rngs.stream("faults.duplicate")
+                if rng.random() < rule.probability:
+                    extra = delay + (
+                        rng.uniform(0.0, rule.max_extra_delay_s)
+                        if rule.max_extra_delay_s > 0
+                        else 0.0
+                    )
+                    self.network.sim.schedule_in(
+                        extra, self.network._deliver, src, dst, msg
+                    )
+                    self.stats.messages_duplicated += 1
+                    self.network.stats.messages_duplicated_fault += 1
+        return delay
+
+    # ------------------------------------------------------------------
+    # fail-stop crashes
+    # ------------------------------------------------------------------
+    def _select_victims(self, rule_peers: Tuple[int, ...], count: int) -> List[PeerId]:
+        assert self.network is not None
+        if rule_peers:
+            return [PeerId(v) for v in rule_peers]
+        candidates = sorted(
+            (
+                pid
+                for pid, peer in self.network.peers.items()
+                if peer.online and pid not in self.crashed and pid not in self._protected
+            ),
+            key=lambda p: p.value,
+        )
+        k = min(count, len(candidates))
+        if k == 0:
+            return []
+        return self.rngs.stream("faults.crash").sample(candidates, k)
+
+    def _execute_crash(self, rule: CrashRule) -> None:
+        for pid in self._select_victims(rule.peers, rule.count):
+            self.crash_peer(pid)
+
+    def crash_peer(self, pid: PeerId) -> None:
+        """Fail-stop ``pid`` now: offline, silently, forever."""
+        assert self.network is not None
+        peer = self.network.peers[pid]
+        self.crashed.add(pid)
+        if self._churn is not None:
+            self._churn.fail_stop(pid)
+        if not peer.online:
+            return
+        # No Bye, no disconnect notifications: neighbors keep their stale
+        # entries and only ever observe silence.
+        peer.go_offline()
+        self.stats.crashes += 1
+
+    # ------------------------------------------------------------------
+    # fail-slow windows
+    # ------------------------------------------------------------------
+    def _begin_fail_slow(self, rule: FailSlowRule) -> None:
+        assert self.network is not None
+        if rule.peers:
+            victims = [PeerId(v) for v in rule.peers]
+        else:
+            candidates = sorted(
+                (
+                    pid
+                    for pid, peer in self.network.peers.items()
+                    if peer.online
+                    and pid not in self._degraded
+                    and pid not in self._protected
+                ),
+                key=lambda p: p.value,
+            )
+            victims = self.rngs.stream("faults.failslow").sample(
+                candidates, min(rule.count, len(candidates))
+            )
+        for pid in victims:
+            if pid in self._degraded:
+                continue
+            bucket = self.network.peers[pid].processing
+            self._degraded[pid] = bucket.rate_per_min
+            bucket.rate_per_min = bucket.rate_per_min * rule.factor
+            self.stats.fail_slow_applied += 1
+        if rule.window.end_s != float("inf"):
+            self.network.sim.schedule_at(
+                rule.window.end_s, self._end_fail_slow, tuple(victims)
+            )
+
+    def _end_fail_slow(self, victims: Tuple[PeerId, ...]) -> None:
+        assert self.network is not None
+        for pid in victims:
+            original = self._degraded.pop(pid, None)
+            if original is None:
+                continue
+            self.network.peers[pid].processing.rate_per_min = original
+            self.stats.fail_slow_restored += 1
+
+    # ------------------------------------------------------------------
+    def degraded_peers(self) -> Set[PeerId]:
+        """Peers currently running with reduced processing capacity."""
+        return set(self._degraded)

@@ -1,0 +1,240 @@
+"""Declarative fault model.
+
+A :class:`FaultPlan` is a frozen bundle of rules, each scoped to a time
+window of the simulation and (for message-path rules) to a set of
+message kinds and/or directed links. Rules:
+
+* :class:`LossRule` -- drop a matching in-flight message with some
+  probability (global, per-link, or per-message-kind loss).
+* :class:`DuplicateRule` -- deliver a matching message twice.
+* :class:`DelayRule` -- add extra one-hop latency to a matching message;
+  large spreads reorder control traffic.
+* :class:`CrashRule` -- fail-stop: victims drop off the network silently
+  at a scheduled time and never return (no Bye, neighbors are not
+  notified -- they discover the death through silence).
+* :class:`FailSlowRule` -- degrade victims' query-processing capacity by
+  a factor for the duration of a window.
+
+Plans are inert data; the :class:`~repro.faults.injector.FaultInjector`
+executes them. An empty plan (``FaultPlan()``) injects nothing and adds
+no randomness, so default runs are bit-identical with or without the
+fault layer compiled in.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.overlay.message import MessageKind
+
+#: The DD-POLICE control plane: everything that is not search traffic.
+CONTROL_KINDS: FrozenSet[MessageKind] = frozenset(
+    {
+        MessageKind.PING,
+        MessageKind.PONG,
+        MessageKind.BYE,
+        MessageKind.NEIGHBOR_LIST,
+        MessageKind.NEIGHBOR_TRAFFIC,
+    }
+)
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """Half-open activity interval ``[start_s, end_s)`` in sim seconds."""
+
+    start_s: float = 0.0
+    end_s: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ConfigError(f"start_s must be non-negative, got {self.start_s}")
+        if self.end_s <= self.start_s:
+            raise ConfigError(
+                f"end_s ({self.end_s}) must exceed start_s ({self.start_s})"
+            )
+
+    def active(self, now: float) -> bool:
+        return self.start_s <= now < self.end_s
+
+    @classmethod
+    def minutes(cls, start_min: float, end_min: float = math.inf) -> "FaultWindow":
+        """Convenience: a window expressed in minutes ("minutes 10-20")."""
+        end = math.inf if math.isinf(end_min) else end_min * 60.0
+        return cls(start_s=start_min * 60.0, end_s=end)
+
+
+def _check_probability(p: float, name: str) -> None:
+    if not (0.0 <= p <= 1.0):
+        raise ConfigError(f"{name} must be in [0, 1], got {p}")
+
+
+@dataclass(frozen=True)
+class LossRule:
+    """Drop matching messages with ``probability``.
+
+    ``kinds=None`` matches every message kind; ``links=None`` matches
+    every directed (src, dst) peer pair (peer ids as ints).
+    """
+
+    probability: float
+    window: FaultWindow = field(default_factory=FaultWindow)
+    kinds: Optional[FrozenSet[MessageKind]] = None
+    links: Optional[FrozenSet[Tuple[int, int]]] = None
+
+    def __post_init__(self) -> None:
+        _check_probability(self.probability, "loss probability")
+
+    def matches(self, now: float, src: int, dst: int, kind: MessageKind) -> bool:
+        if not self.window.active(now):
+            return False
+        if self.kinds is not None and kind not in self.kinds:
+            return False
+        if self.links is not None and (src, dst) not in self.links:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class DuplicateRule:
+    """Deliver matching messages twice with ``probability``.
+
+    The duplicate arrives up to ``max_extra_delay_s`` after the original,
+    so duplication composes with reordering.
+    """
+
+    probability: float
+    window: FaultWindow = field(default_factory=FaultWindow)
+    kinds: Optional[FrozenSet[MessageKind]] = None
+    max_extra_delay_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        _check_probability(self.probability, "duplicate probability")
+        if self.max_extra_delay_s < 0:
+            raise ConfigError("max_extra_delay_s must be non-negative")
+
+    def matches(self, now: float, kind: MessageKind) -> bool:
+        if not self.window.active(now):
+            return False
+        return self.kinds is None or kind in self.kinds
+
+
+@dataclass(frozen=True)
+class DelayRule:
+    """Add uniform extra latency in ``[min_extra_s, max_extra_s]``.
+
+    Applied with ``probability`` per matching message; a spread larger
+    than the inter-message spacing reorders deliveries.
+    """
+
+    probability: float
+    min_extra_s: float = 0.0
+    max_extra_s: float = 1.0
+    window: FaultWindow = field(default_factory=FaultWindow)
+    kinds: Optional[FrozenSet[MessageKind]] = None
+
+    def __post_init__(self) -> None:
+        _check_probability(self.probability, "delay probability")
+        if self.min_extra_s < 0:
+            raise ConfigError("min_extra_s must be non-negative")
+        if self.max_extra_s < self.min_extra_s:
+            raise ConfigError("max_extra_s must be >= min_extra_s")
+
+    def matches(self, now: float, kind: MessageKind) -> bool:
+        if not self.window.active(now):
+            return False
+        return self.kinds is None or kind in self.kinds
+
+
+@dataclass(frozen=True)
+class CrashRule:
+    """Fail-stop crash of ``count`` random peers (or explicit ``peers``)
+    at time ``at_s``. Victims never rejoin, even under churn."""
+
+    at_s: float
+    count: int = 0
+    peers: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ConfigError(f"at_s must be non-negative, got {self.at_s}")
+        if self.count < 0:
+            raise ConfigError(f"count must be non-negative, got {self.count}")
+        if self.count == 0 and not self.peers:
+            raise ConfigError("crash rule needs count > 0 or explicit peers")
+
+
+@dataclass(frozen=True)
+class FailSlowRule:
+    """Degrade processing capacity of ``count`` random peers (or explicit
+    ``peers``) by ``factor`` for the duration of ``window``."""
+
+    factor: float
+    window: FaultWindow = field(default_factory=FaultWindow)
+    count: int = 0
+    peers: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.factor < 1.0):
+            raise ConfigError(
+                f"fail-slow factor must be in (0, 1), got {self.factor}"
+            )
+        if self.count < 0:
+            raise ConfigError(f"count must be non-negative, got {self.count}")
+        if self.count == 0 and not self.peers:
+            raise ConfigError("fail-slow rule needs count > 0 or explicit peers")
+        if math.isinf(self.window.end_s):
+            return  # restoring at infinity simply never happens
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete fault schedule for one run. Empty by default."""
+
+    loss: Tuple[LossRule, ...] = ()
+    duplicate: Tuple[DuplicateRule, ...] = ()
+    delay: Tuple[DelayRule, ...] = ()
+    crashes: Tuple[CrashRule, ...] = ()
+    fail_slow: Tuple[FailSlowRule, ...] = ()
+
+    @property
+    def enabled(self) -> bool:
+        """True if any rule is present."""
+        return bool(
+            self.loss or self.duplicate or self.delay or self.crashes or self.fail_slow
+        )
+
+    # ------------------------------------------------------------------
+    # common shorthands
+    # ------------------------------------------------------------------
+    @classmethod
+    def message_loss(
+        cls, probability: float, *, start_s: float = 0.0, end_s: float = math.inf
+    ) -> "FaultPlan":
+        """Uniform loss on every message (data and control planes)."""
+        return cls(loss=(LossRule(probability, FaultWindow(start_s, end_s)),))
+
+    @classmethod
+    def control_loss(
+        cls, probability: float, *, start_s: float = 0.0, end_s: float = math.inf
+    ) -> "FaultPlan":
+        """Loss restricted to the DD-POLICE control plane (the paper's
+        search traffic is untouched; only protocol evidence is degraded)."""
+        return cls(
+            loss=(
+                LossRule(probability, FaultWindow(start_s, end_s), kinds=CONTROL_KINDS),
+            )
+        )
+
+    def merged(self, other: "FaultPlan") -> "FaultPlan":
+        """Union of two plans' rules."""
+        return FaultPlan(
+            loss=self.loss + other.loss,
+            duplicate=self.duplicate + other.duplicate,
+            delay=self.delay + other.delay,
+            crashes=self.crashes + other.crashes,
+            fail_slow=self.fail_slow + other.fail_slow,
+        )

@@ -171,6 +171,10 @@ class NeighborListMessage(Message):
 
     sender: Optional[PeerId] = None
     neighbors: FrozenSet[PeerId] = frozenset()
+    #: Sender-side send time. Not on the wire (real servents would carry a
+    #: sequence number); used to reject stale lists that arrive reordered
+    #: behind a fresher one. ``None`` disables the guard.
+    sent_at: Optional[float] = None
 
     def __post_init__(self) -> None:
         self.kind = MessageKind.NEIGHBOR_LIST
@@ -198,6 +202,10 @@ class NeighborTrafficMessage(Message):
     timestamp: int = 0
     outgoing_queries: int = 0
     incoming_queries: int = 0
+    #: Marks an investigation re-request (hardened evidence collection):
+    #: the receiver should answer the sender directly, bypassing the 5 s
+    #: dedup window. Identical on the wire to a first send.
+    is_retry: bool = False
 
     def __post_init__(self) -> None:
         self.kind = MessageKind.NEIGHBOR_TRAFFIC

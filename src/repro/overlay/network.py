@@ -44,9 +44,22 @@ class NetworkConfig:
         if self.default_ttl < 1:
             raise ConfigError(f"default_ttl must be >= 1, got {self.default_ttl}")
         if self.hop_latency_s <= 0:
-            raise ConfigError(f"hop_latency_s must be positive")
+            raise ConfigError(
+                f"hop_latency_s must be positive, got {self.hop_latency_s}"
+            )
+        if self.hop_latency_jitter_s < 0:
+            raise ConfigError(
+                f"hop_latency_jitter_s must be non-negative, "
+                f"got {self.hop_latency_jitter_s}"
+            )
         if self.minute_window_s <= 0:
-            raise ConfigError(f"minute_window_s must be positive")
+            raise ConfigError(
+                f"minute_window_s must be positive, got {self.minute_window_s}"
+            )
+        if self.processing_qpm_good <= 0:
+            raise ConfigError(
+                f"processing_qpm_good must be positive, got {self.processing_qpm_good}"
+            )
 
 
 @dataclass
@@ -82,6 +95,8 @@ class NetworkStats:
     control_messages: int = 0
     queries_dropped_capacity: int = 0
     messages_dropped_bandwidth: int = 0
+    messages_dropped_fault: int = 0
+    messages_duplicated_fault: int = 0
 
 
 class OverlayNetwork:
@@ -114,6 +129,10 @@ class OverlayNetwork:
         self.query_records: Dict[bytes, QueryRecord] = {}
         self.minute_listeners: List[Callable[[int, float], None]] = []
         self.minute_index = 0
+        #: Optional fault layer; set by ``FaultInjector.attach``. ``None``
+        #: keeps the transmit path untouched (bit-identical to pre-fault
+        #: builds).
+        self.fault_injector = None
 
         # Optional per-peer access-link budgets (messages/min), assigned
         # from the Saroiu classes when bandwidth enforcement is on.
@@ -199,6 +218,12 @@ class OverlayNetwork:
         delay = self.config.hop_latency_s
         if self.config.hop_latency_jitter_s > 0:
             delay += self._latency_rng.uniform(0, self.config.hop_latency_jitter_s)
+        if self.fault_injector is not None:
+            shaped = self.fault_injector.shape_transmit(src, dst, msg, delay)
+            if shaped is None:
+                self.stats.messages_dropped_fault += 1
+                return
+            delay = shaped
         self.sim.schedule_in(delay, self._deliver, src, dst, msg)
 
     def _deliver(self, src: PeerId, dst: PeerId, msg: Message) -> None:

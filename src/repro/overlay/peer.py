@@ -30,7 +30,6 @@ from repro.overlay.ids import Guid, PeerId
 from repro.overlay.message import (
     Bye,
     Message,
-    MessageKind,
     NeighborListMessage,
     NeighborTrafficMessage,
     Ping,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.experiments.sweeps import (
-    SweepPoint,
     final_false_positive,
     run_point,
     steady_success,

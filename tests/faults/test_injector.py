@@ -1,0 +1,238 @@
+"""FaultInjector behaviour against small deterministic networks."""
+
+import pytest
+
+from repro.churn.process import ChurnConfig, ChurnProcess
+from repro.errors import ConfigError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    CrashRule,
+    DelayRule,
+    DuplicateRule,
+    FailSlowRule,
+    FaultPlan,
+    FaultWindow,
+    LossRule,
+)
+from repro.overlay.ids import PeerId
+from repro.overlay.message import MessageKind, Ping, Pong
+from tests.conftest import make_network
+
+
+def attach(net, plan, **kwargs):
+    injector = FaultInjector(plan, net.rngs)
+    injector.attach(net, **kwargs)
+    return injector
+
+
+def ping(net):
+    return Ping(guid=net.guid_factory.new(), ttl=1)
+
+
+def pong(net, responder=0):
+    return Pong(guid=net.guid_factory.new(), ttl=1, hops=0, responder=PeerId(responder))
+
+
+# ---------------------------------------------------------------------------
+# loss
+# ---------------------------------------------------------------------------
+
+def test_total_loss_drops_every_message():
+    sim, net = make_network({0: {1}})
+    injector = attach(net, FaultPlan.message_loss(1.0))
+    for _ in range(10):
+        net.transmit(PeerId(0), PeerId(1), ping(net))
+    sim.run(until=5.0)
+    assert net.stats.messages_delivered == 0
+    assert net.stats.messages_dropped_fault == 10
+    assert injector.stats.messages_dropped == 10
+    assert injector.stats.dropped_by_kind == {"PING": 10}
+
+
+def test_loss_respects_its_window():
+    sim, net = make_network({0: {1}})
+    plan = FaultPlan(
+        loss=(LossRule(1.0, FaultWindow(10.0, 20.0), kinds=frozenset({MessageKind.PONG})),)
+    )
+    attach(net, plan)
+    # Pongs so the receiver does not generate reply traffic.
+    for t in (5.0, 15.0, 25.0):
+        sim.schedule_at(t, net.transmit, PeerId(0), PeerId(1), pong(net))
+    sim.run(until=30.0)
+    assert net.stats.messages_delivered == 2  # only the t=15 send is lost
+    assert net.stats.messages_dropped_fault == 1
+
+
+def test_per_link_loss_leaves_other_links_alone():
+    sim, net = make_network({0: {1, 2}})
+    plan = FaultPlan(loss=(LossRule(1.0, links=frozenset({(0, 1)})),))
+    attach(net, plan)
+    net.transmit(PeerId(0), PeerId(1), pong(net))
+    net.transmit(PeerId(0), PeerId(2), pong(net))
+    sim.run(until=1.0)
+    assert net.stats.messages_delivered == 1
+    assert net.stats.messages_dropped_fault == 1
+
+
+# ---------------------------------------------------------------------------
+# duplication / delay
+# ---------------------------------------------------------------------------
+
+def test_duplicate_delivers_twice():
+    sim, net = make_network({0: {1}})
+    plan = FaultPlan(duplicate=(DuplicateRule(1.0, max_extra_delay_s=0.0),))
+    injector = attach(net, plan)
+    net.transmit(PeerId(0), PeerId(1), pong(net))
+    sim.run(until=1.0)
+    assert net.stats.messages_delivered == 2
+    assert injector.stats.messages_duplicated == 1
+    assert net.stats.messages_duplicated_fault == 1
+
+
+def test_delay_inflates_one_hop_latency():
+    sim, net = make_network({0: {1}})
+    plan = FaultPlan(delay=(DelayRule(1.0, min_extra_s=5.0, max_extra_s=5.0),))
+    injector = attach(net, plan)
+    net.transmit(PeerId(0), PeerId(1), pong(net))
+    sim.run(until=2.0)
+    assert net.stats.messages_delivered == 0  # still in flight
+    sim.run(until=6.0)
+    assert net.stats.messages_delivered == 1
+    assert injector.stats.messages_delayed == 1
+
+
+def test_selective_delay_reorders_kinds():
+    # A delayed Ping sent before an undelayed Pong arrives after it.
+    sim, net = make_network({0: {1}})
+    plan = FaultPlan(
+        delay=(
+            DelayRule(
+                1.0, min_extra_s=5.0, max_extra_s=5.0, kinds=frozenset({MessageKind.PING})
+            ),
+        )
+    )
+    attach(net, plan)
+    net.transmit(PeerId(0), PeerId(1), ping(net))
+    net.transmit(PeerId(0), PeerId(1), pong(net))
+    sim.run(until=1.0)
+    # Only the Pong has landed; the earlier Ping is still in flight.
+    assert net.stats.messages_delivered == 1
+    assert net.stats.control_messages == 1
+    sim.run(until=10.0)
+    assert net.stats.messages_delivered >= 2
+
+
+# ---------------------------------------------------------------------------
+# fail-stop crashes
+# ---------------------------------------------------------------------------
+
+def test_explicit_crash_is_silent():
+    sim, net = make_network({0: {1}, 1: {2}})
+    plan = FaultPlan(crashes=(CrashRule(at_s=5.0, peers=(1,)),))
+    injector = attach(net, plan)
+    sim.run(until=10.0)
+    assert not net.peers[PeerId(1)].online
+    assert injector.crashed == {PeerId(1)}
+    assert injector.stats.crashes == 1
+    # No Bye, no disconnect notification: neighbors keep the stale entry.
+    assert PeerId(1) in net.peers[PeerId(0)].neighbors
+    assert PeerId(1) in net.peers[PeerId(2)].neighbors
+
+
+def test_random_crashes_respect_protected_set():
+    sim, net = make_network({0: {1, 2, 3, 4}})
+    plan = FaultPlan(crashes=(CrashRule(at_s=1.0, count=4),))
+    injector = attach(net, plan, protected=(PeerId(0),))
+    sim.run(until=2.0)
+    assert net.peers[PeerId(0)].online
+    assert injector.crashed == {PeerId(i) for i in (1, 2, 3, 4)}
+
+
+def test_crashed_peer_never_rejoins_under_churn():
+    sim, net = make_network({0: {1}, 1: {2}})
+    churn = ChurnProcess(sim, net, ChurnConfig(enabled=False))
+    plan = FaultPlan(crashes=(CrashRule(at_s=5.0, peers=(1,)),))
+    attach(net, plan, churn=churn)
+    sim.run(until=6.0)
+    assert PeerId(1) in churn.failed
+    # Even an explicit join attempt cannot resurrect a fail-stopped peer.
+    churn._join(PeerId(1))
+    assert not net.peers[PeerId(1)].online
+
+
+# ---------------------------------------------------------------------------
+# fail-slow
+# ---------------------------------------------------------------------------
+
+def test_fail_slow_degrades_then_restores_capacity():
+    sim, net = make_network({0: {1}})
+    plan = FaultPlan(
+        fail_slow=(FailSlowRule(factor=0.5, window=FaultWindow(5.0, 15.0), peers=(1,)),)
+    )
+    injector = attach(net, plan)
+    original = net.peers[PeerId(1)].processing.rate_per_min
+    sim.run(until=10.0)
+    assert net.peers[PeerId(1)].processing.rate_per_min == original * 0.5
+    assert injector.degraded_peers() == {PeerId(1)}
+    assert injector.stats.fail_slow_applied == 1
+    sim.run(until=20.0)
+    assert net.peers[PeerId(1)].processing.rate_per_min == original
+    assert injector.stats.fail_slow_restored == 1
+    assert injector.degraded_peers() == set()
+
+
+# ---------------------------------------------------------------------------
+# wiring / determinism
+# ---------------------------------------------------------------------------
+
+def test_empty_plan_leaves_transmit_path_untouched():
+    sim, net = make_network({0: {1}})
+    injector = attach(net, FaultPlan())
+    assert not injector.plan.enabled
+    for _ in range(5):
+        net.transmit(PeerId(0), PeerId(1), pong(net))
+    sim.run(until=1.0)
+    assert net.stats.messages_delivered == 5
+    assert net.stats.messages_dropped_fault == 0
+    assert injector.stats.messages_dropped == 0
+
+
+def test_attach_twice_is_rejected():
+    sim, net = make_network({0: {1}})
+    injector = attach(net, FaultPlan.message_loss(0.5))
+    with pytest.raises(ConfigError):
+        injector.attach(net)
+
+
+def _lossy_run(seed, with_delay=False):
+    sim, net = make_network({0: {1, 2, 3, 4}}, seed=seed)
+    loss = LossRule(0.5, kinds=frozenset({MessageKind.PING}))
+    delay = (
+        (DelayRule(1.0, min_extra_s=0.0, max_extra_s=3.0, kinds=frozenset({MessageKind.PONG})),)
+        if with_delay
+        else ()
+    )
+    injector = attach(net, FaultPlan(loss=(loss,), delay=delay))
+    for i in range(60):
+        net.transmit(PeerId(0), PeerId(1 + i % 4), ping(net))
+    sim.run(until=30.0)
+    return net, injector
+
+
+def test_same_seed_same_faults():
+    net_a, inj_a = _lossy_run(seed=7)
+    net_b, inj_b = _lossy_run(seed=7)
+    assert inj_a.stats.messages_dropped == inj_b.stats.messages_dropped
+    assert inj_a.stats.dropped_by_kind == inj_b.stats.dropped_by_kind
+    assert net_a.stats.messages_delivered == net_b.stats.messages_delivered
+    assert 0 < inj_a.stats.messages_dropped < 60
+
+
+def test_fault_streams_are_independent():
+    # Adding a delay rule (its own rng stream) must not change which
+    # messages the loss rule drops.
+    _, inj_plain = _lossy_run(seed=7, with_delay=False)
+    _, inj_delayed = _lossy_run(seed=7, with_delay=True)
+    assert inj_plain.stats.messages_dropped == inj_delayed.stats.messages_dropped
+    assert inj_plain.stats.dropped_by_kind == inj_delayed.stats.dropped_by_kind
+    assert inj_delayed.stats.messages_delayed > 0

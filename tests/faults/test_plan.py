@@ -1,0 +1,164 @@
+"""Validation and matching semantics of the declarative fault plan."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.plan import (
+    CONTROL_KINDS,
+    CrashRule,
+    DelayRule,
+    DuplicateRule,
+    FailSlowRule,
+    FaultPlan,
+    FaultWindow,
+    LossRule,
+)
+from repro.overlay.message import MessageKind
+
+
+# ---------------------------------------------------------------------------
+# FaultWindow
+# ---------------------------------------------------------------------------
+
+def test_window_is_half_open():
+    w = FaultWindow(10.0, 20.0)
+    assert not w.active(9.999)
+    assert w.active(10.0)
+    assert w.active(19.999)
+    assert not w.active(20.0)
+
+
+def test_window_defaults_to_whole_run():
+    w = FaultWindow()
+    assert w.active(0.0)
+    assert w.active(1e9)
+
+
+def test_window_minutes_conversion():
+    w = FaultWindow.minutes(2.0, 3.0)
+    assert w.start_s == 120.0
+    assert w.end_s == 180.0
+    open_ended = FaultWindow.minutes(5.0)
+    assert open_ended.start_s == 300.0
+    assert math.isinf(open_ended.end_s)
+
+
+@pytest.mark.parametrize("start,end", [(-1.0, 10.0), (10.0, 10.0), (10.0, 5.0)])
+def test_window_rejects_bad_bounds(start, end):
+    with pytest.raises(ConfigError):
+        FaultWindow(start, end)
+
+
+# ---------------------------------------------------------------------------
+# rule validation
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("p", [-0.1, 1.1])
+def test_loss_rule_rejects_bad_probability(p):
+    with pytest.raises(ConfigError):
+        LossRule(probability=p)
+
+
+def test_duplicate_rule_rejects_negative_extra_delay():
+    with pytest.raises(ConfigError):
+        DuplicateRule(probability=0.5, max_extra_delay_s=-1.0)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"probability": 0.5, "min_extra_s": -1.0},
+        {"probability": 0.5, "min_extra_s": 2.0, "max_extra_s": 1.0},
+        {"probability": 2.0},
+    ],
+)
+def test_delay_rule_rejects_bad_params(kwargs):
+    with pytest.raises(ConfigError):
+        DelayRule(**kwargs)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"at_s": -1.0, "count": 1},
+        {"at_s": 0.0, "count": -1},
+        {"at_s": 0.0},  # neither count nor peers
+    ],
+)
+def test_crash_rule_rejects_bad_params(kwargs):
+    with pytest.raises(ConfigError):
+        CrashRule(**kwargs)
+
+
+@pytest.mark.parametrize("factor", [0.0, 1.0, -0.5, 2.0])
+def test_fail_slow_rejects_factor_outside_open_interval(factor):
+    with pytest.raises(ConfigError):
+        FailSlowRule(factor=factor, peers=(1,))
+
+
+def test_fail_slow_needs_victims():
+    with pytest.raises(ConfigError):
+        FailSlowRule(factor=0.5)
+
+
+# ---------------------------------------------------------------------------
+# rule matching
+# ---------------------------------------------------------------------------
+
+def test_loss_rule_scopes_by_window_kind_and_link():
+    rule = LossRule(
+        probability=1.0,
+        window=FaultWindow(10.0, 20.0),
+        kinds=frozenset({MessageKind.PING}),
+        links=frozenset({(0, 1)}),
+    )
+    assert rule.matches(15.0, 0, 1, MessageKind.PING)
+    assert not rule.matches(5.0, 0, 1, MessageKind.PING)  # outside window
+    assert not rule.matches(15.0, 0, 1, MessageKind.QUERY)  # wrong kind
+    assert not rule.matches(15.0, 1, 0, MessageKind.PING)  # wrong direction
+
+
+def test_unscoped_loss_rule_matches_everything_in_window():
+    rule = LossRule(probability=0.5)
+    assert rule.matches(0.0, 3, 7, MessageKind.QUERY)
+    assert rule.matches(1e6, 7, 3, MessageKind.NEIGHBOR_TRAFFIC)
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan
+# ---------------------------------------------------------------------------
+
+def test_empty_plan_is_disabled():
+    assert not FaultPlan().enabled
+
+
+def test_any_rule_enables_the_plan():
+    assert FaultPlan(loss=(LossRule(0.1),)).enabled
+    assert FaultPlan(crashes=(CrashRule(at_s=1.0, peers=(0,)),)).enabled
+
+
+def test_control_loss_shorthand_targets_control_plane_only():
+    plan = FaultPlan.control_loss(0.25, start_s=60.0)
+    (rule,) = plan.loss
+    assert rule.probability == 0.25
+    assert rule.kinds == CONTROL_KINDS
+    assert MessageKind.QUERY not in rule.kinds
+    assert rule.window.start_s == 60.0
+
+
+def test_message_loss_shorthand_is_unscoped():
+    plan = FaultPlan.message_loss(0.1)
+    (rule,) = plan.loss
+    assert rule.kinds is None
+    assert rule.links is None
+
+
+def test_merged_unions_rule_lists():
+    a = FaultPlan.control_loss(0.2)
+    b = FaultPlan(crashes=(CrashRule(at_s=5.0, count=2),))
+    merged = a.merged(b)
+    assert len(merged.loss) == 1
+    assert len(merged.crashes) == 1
+    assert merged.enabled

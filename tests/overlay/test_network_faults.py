@@ -1,0 +1,70 @@
+"""Drop accounting on the transmit path under the fault injector.
+
+Bandwidth, capacity, and fault drops are charged to separate counters in
+a fixed order (bandwidth at send, loss in flight, capacity at the
+receiving peer), and every counter is deterministic for a fixed seed.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.overlay.ids import PeerId
+from repro.overlay.message import Query
+from repro.overlay.network import NetworkConfig
+from tests.conftest import make_network
+
+#: Big enough to overrun every Saroiu class's one-second link burst
+#: (the largest, t1, holds ~1506 messages).
+BURST = 2_000
+
+
+def _burst_run(seed):
+    cfg = NetworkConfig(
+        hop_latency_jitter_s=0.0,
+        bandwidth_enabled=True,
+        processing_qpm_good=60.0,  # 1 query/s: the survivors overrun it
+        seed=seed,
+    )
+    sim, net = make_network({0: {1}}, seed=seed, config=cfg)
+    injector = FaultInjector(FaultPlan.message_loss(0.5), net.rngs)
+    injector.attach(net)
+    for _ in range(BURST):
+        q = Query(guid=net.guid_factory.new(), ttl=2, hops=0, keywords=("no-such-object",))
+        net.transmit(PeerId(0), PeerId(1), q)
+    sim.run(until=5.0)
+    return net, injector
+
+
+def test_burst_charges_all_three_drop_counters():
+    net, injector = _burst_run(seed=3)
+    s = net.stats
+    assert s.messages_dropped_bandwidth > 0
+    assert s.messages_dropped_fault > 0
+    assert s.queries_dropped_capacity > 0
+    assert s.messages_dropped_fault == injector.stats.messages_dropped
+
+
+def test_drop_accounting_is_exhaustive():
+    # Every sent message is exactly one of: delivered, dropped by a link
+    # budget, or dropped by the injector (the receiver stays online, so
+    # nothing vanishes unaccounted).
+    net, _ = _burst_run(seed=3)
+    s = net.stats
+    assert (
+        s.messages_delivered + s.messages_dropped_bandwidth + s.messages_dropped_fault
+        == BURST
+    )
+    # Capacity drops happen after delivery, so they never exceed it.
+    assert 0 < s.queries_dropped_capacity <= s.messages_delivered
+
+
+def test_drop_counts_are_deterministic_for_fixed_seed():
+    net_a, inj_a = _burst_run(seed=9)
+    net_b, inj_b = _burst_run(seed=9)
+    for field in (
+        "messages_delivered",
+        "messages_dropped_bandwidth",
+        "messages_dropped_fault",
+        "queries_dropped_capacity",
+    ):
+        assert getattr(net_a.stats, field) == getattr(net_b.stats, field), field
+    assert inj_a.stats.dropped_by_kind == inj_b.stats.dropped_by_kind

@@ -42,7 +42,6 @@ counts = st.integers(min_value=0, max_value=1_000_000)
 def test_faithful_forwarder_indicator_equals_issue_rate(q0, inflows, q):
     """For a lossless forwarder the Figure 2 identity g = s = q0/q holds
     for any neighbor count and any traffic mix."""
-    k = len(inflows)
     total = sum(inflows)
     sent = [q0 + (total - x) for x in inflows]
     g = general_indicator(sent, inflows, q)

@@ -100,10 +100,11 @@ def test_defense_starves_the_flood():
     police = ChordPolice(ring, ChordPoliceConfig(cut_threshold=5.0))
     first = flooder.run_minute(0.0)
     police.step(1.0)
-    second = flooder.run_minute(60.0)
+    flooder.run_minute(60.0)
     police.step(2.0)
     third = flooder.run_minute(120.0)
-    rate = lambda rs: sum(r.succeeded for r in rs) / len(rs)
+    def rate(rs):
+        return sum(r.succeeded for r in rs) / len(rs)
     # receivers refuse the agent's relays: its flood success collapses
     assert rate(third) < 0.5 * rate(first)
 
