@@ -95,10 +95,19 @@ class DDoSAgent:
         return self._active
 
     def start(self) -> None:
-        """Begin attacking now."""
+        """Begin attacking now.
+
+        Registration with the network's attack-origin set happens here,
+        not at construction: queries the peer issued *before* compromise
+        keep their GOOD class in the metrics pipeline, so pre-attack
+        minutes of an attacked run match the clean baseline exactly.
+        Registration is permanent -- once compromised, the peer's later
+        queries stay classified as attack traffic even after ``stop``.
+        """
         if self._active:
             return
         self._active = True
+        self.network.register_attack_origin(self.peer_id)
         self.sim.schedule_in(0.0, self._batch)
 
     def stop(self) -> None:

@@ -8,8 +8,8 @@ fluid-vs-DES cross-validation bench.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Set
+from dataclasses import dataclass, field, replace
+from typing import Optional, Set, Union
 
 from repro.attack.cheating import CheatStrategy
 from repro.attack.scenario import AttackScenario, ScenarioConfig
@@ -20,7 +20,7 @@ from repro.core.police import deploy_ddpolice
 from repro.errors import ConfigError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
-from repro.metrics.collectors import MetricsCollector
+from repro.metrics.collectors import LegacyMetricsCollector, MetricsCollector
 from repro.metrics.errors import ErrorCounts, JudgmentLog
 from repro.overlay.content import ContentCatalog, ContentConfig
 from repro.overlay.ids import PeerId
@@ -53,6 +53,11 @@ class DESConfig:
     defense: str = "none"
     police: DDPoliceConfig = DDPoliceConfig()
     naive_cutoff_qpm: float = 500.0
+    #: Metrics path: "incremental" (default, O(1) per event, bounded
+    #: memory) or "legacy" (full per-minute record scan; forces record
+    #: retention). Legacy exists only as the oracle for the equivalence
+    #: property test.
+    metrics_mode: str = "incremental"
     #: Fault schedule executed against the run (empty plan = no injector
     #: attached, transmit path untouched). Random crash / fail-slow
     #: victims are drawn from the *good* population so the ground-truth
@@ -68,6 +73,8 @@ class DESConfig:
             raise ConfigError("num_agents out of range")
         if self.defense not in ("none", "ddpolice", "naive"):
             raise ConfigError(f"unknown defense {self.defense!r}")
+        if self.metrics_mode not in ("incremental", "legacy"):
+            raise ConfigError(f"unknown metrics_mode {self.metrics_mode!r}")
 
 
 @dataclass
@@ -77,7 +84,7 @@ class DESRun:
     config: DESConfig
     sim: Simulator
     network: OverlayNetwork
-    collector: MetricsCollector
+    collector: Union[MetricsCollector, LegacyMetricsCollector]
     churn: Optional[ChurnProcess]
     scenario: Optional[AttackScenario]
     judgments: Optional[JudgmentLog]
@@ -86,7 +93,13 @@ class DESRun:
 
     @property
     def success_rate(self) -> float:
+        """Whole-run S of good-origin (user) queries -- the paper's metric."""
         return self.network.success_rate()
+
+    @property
+    def success_rate_all_traffic(self) -> float:
+        """Diagnostic: pre-fix S with attack queries in the denominator."""
+        return self.network.success_rate("all")
 
     @property
     def mean_response_time(self) -> Optional[float]:
@@ -111,10 +124,17 @@ def run_des_experiment(config: DESConfig) -> DESRun:
         raise ConfigError("topology n must match config n")
     topo = generate_topology(topo_cfg)
     content = ContentCatalog(config.content, config.n)
+    net_cfg = config.network
+    if config.metrics_mode == "legacy" and net_cfg.retire_settled_records:
+        net_cfg = replace(net_cfg, retire_settled_records=False)
     network = OverlayNetwork(
-        sim, topo, config=config.network, content=content, rng_registry=rngs
+        sim, topo, config=net_cfg, content=content, rng_registry=rngs
     )
-    collector = MetricsCollector(network)
+    collector: Union[MetricsCollector, LegacyMetricsCollector]
+    if config.metrics_mode == "legacy":
+        collector = LegacyMetricsCollector(network)
+    else:
+        collector = MetricsCollector(network)
 
     churn: Optional[ChurnProcess] = None
     if config.churn.enabled:

@@ -5,12 +5,18 @@
 * false negative / false positive / false judgment -- Figure 13 (keeping
   the paper's swapped terminology: *false negative* = good peers wrongly
   disconnected, *false positive* = bad peers not identified).
+
+S(t) and response time are **origin-aware**: agent-originated attack
+queries are classified at issue time and excluded from the default
+(paper) metrics; the all-traffic variants remain available for
+diagnostics. See docs/METRICS.md.
 """
 
 from repro.metrics.series import TimeSeries
 from repro.metrics.damage import damage_rate_series, damage_recovery_time
 from repro.metrics.errors import Judgment, JudgmentLog, ErrorCounts
-from repro.metrics.collectors import MinuteMetrics, MetricsCollector
+from repro.metrics.accounting import ClassTotals, MinuteMetrics, QueryAccounting
+from repro.metrics.collectors import LegacyMetricsCollector, MetricsCollector
 
 __all__ = [
     "TimeSeries",
@@ -19,6 +25,9 @@ __all__ = [
     "Judgment",
     "JudgmentLog",
     "ErrorCounts",
+    "ClassTotals",
     "MinuteMetrics",
+    "QueryAccounting",
     "MetricsCollector",
+    "LegacyMetricsCollector",
 ]

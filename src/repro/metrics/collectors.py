@@ -1,49 +1,96 @@
 """Per-minute metric collection for the message-level network.
 
-Snapshots the cumulative network counters once per minute window and
-derives the paper's three service-quality series: traffic cost (bytes
-and messages per minute), query success rate S(t) over the window, and
-mean response time over the window.
+The heavy lifting lives in :mod:`repro.metrics.accounting`: the network
+streams issue/response/rollover events into a :class:`QueryAccounting`,
+which emits one origin-classified :class:`MinuteMetrics` row per minute
+window in O(1) per event. :class:`MetricsCollector` is the read-side
+facade over those rows and derives the paper's three service-quality
+series: traffic cost (bytes and messages per minute), query success rate
+S(t) over the window (good-origin queries only -- the paper's metric),
+and mean response time over the window.
+
+:class:`LegacyMetricsCollector` is the retired O(minutes x records)
+full-scan implementation, kept behind an explicit opt-in so the property
+test in ``tests/property/test_metrics_equivalence.py`` can prove the
+incremental pipeline row-equivalent before the legacy path is deleted.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List
 
+from repro.errors import ConfigError
+from repro.metrics.accounting import MinuteMetrics
 from repro.metrics.series import TimeSeries
-from repro.overlay.network import OverlayNetwork
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.overlay.network import OverlayNetwork
 
 
-@dataclass
-class MinuteMetrics:
-    """Derived metrics for one completed minute."""
+class _SeriesMixin:
+    """Shared TimeSeries accessors over ``self.minutes``."""
 
-    minute: int
-    time_s: float
-    messages: int
-    bytes_transferred: int
-    queries_issued: int
-    queries_succeeded: int
-    mean_response_time_s: Optional[float]
+    minutes: List[MinuteMetrics]
 
-    @property
-    def success_rate(self) -> float:
-        """S(t) = qs(t)/qw(t) over this minute (Section 3.6)."""
-        if self.queries_issued == 0:
-            return 0.0
-        return self.queries_succeeded / self.queries_issued
+    def success_series(self) -> TimeSeries:
+        """Good-origin S(t) per minute (the paper's Figures 10-12 metric)."""
+        return TimeSeries((m.time_s, m.success_rate) for m in self.minutes)
+
+    def all_traffic_success_series(self) -> TimeSeries:
+        """Diagnostic S(t) with agent-originated queries in the denominator."""
+        return TimeSeries((m.time_s, m.all_success_rate) for m in self.minutes)
+
+    def traffic_series(self) -> TimeSeries:
+        return TimeSeries((m.time_s, float(m.messages)) for m in self.minutes)
+
+    def response_series(self) -> TimeSeries:
+        return TimeSeries(
+            (m.time_s, m.mean_response_time_s)
+            for m in self.minutes
+            if m.mean_response_time_s is not None
+        )
 
 
-class MetricsCollector:
-    """Subscribes to the network's minute rollover.
+class MetricsCollector(_SeriesMixin):
+    """Facade over the network's incremental accounting rows.
 
-    Success for the window counts queries *issued during the window* that
-    have received at least one response by collection time; collection is
-    deferred one window (``grace_minutes``) so in-flight responses land.
+    Success for a window counts queries *issued during the window* that
+    received at least one response by collection time; collection is
+    deferred ``grace_minutes`` windows so in-flight responses land. The
+    grace is enforced by the accounting (it also bounds how long settled
+    records stay in memory), so it must be fixed before the first minute
+    rollover and every collector on a network shares it.
     """
 
-    def __init__(self, network: OverlayNetwork, grace_minutes: int = 1) -> None:
+    def __init__(self, network: "OverlayNetwork", grace_minutes: int = 1) -> None:
+        self.network = network
+        self.grace_minutes = max(0, grace_minutes)
+        network.accounting.configure_grace(self.grace_minutes)
+
+    @property
+    def minutes(self) -> List[MinuteMetrics]:
+        return self.network.accounting.rows
+
+
+class LegacyMetricsCollector(_SeriesMixin):
+    """Pre-incremental collector: full ``query_records`` scan per minute.
+
+    O(minutes x total queries) time and unbounded record retention --
+    the scaling bottleneck the incremental pipeline replaced. Requires a
+    network with record retirement disabled
+    (``NetworkConfig.retire_settled_records=False``); with retirement on,
+    the scan would miss retired records and silently undercount.
+
+    Kept only as the oracle for the equivalence property test; delete
+    once that test has soaked in CI.
+    """
+
+    def __init__(self, network: "OverlayNetwork", grace_minutes: int = 1) -> None:
+        if network.config.retire_settled_records:
+            raise ConfigError(
+                "LegacyMetricsCollector needs retire_settled_records=False; "
+                "retired records would be invisible to the full scan"
+            )
         self.network = network
         self.grace_minutes = max(0, grace_minutes)
         self.minutes: List[MinuteMetrics] = []
@@ -60,16 +107,17 @@ class MetricsCollector:
             return
         t0 = self._window_starts[target - 1]
         t1 = self._window_starts[target]
-        issued = succeeded = 0
-        rt_sum, rt_n = 0.0, 0
+        issued = [0, 0]
+        succeeded = [0, 0]
+        rt_sum = [0.0, 0.0]
         for rec in self.network.query_records.values():
             if t0 <= rec.issued_at < t1:
-                issued += 1
+                cls = 1 if rec.is_attack else 0
+                issued[cls] += 1
                 if rec.succeeded:
-                    succeeded += 1
+                    succeeded[cls] += 1
                     if rec.response_time is not None:
-                        rt_sum += rec.response_time
-                        rt_n += 1
+                        rt_sum[cls] += rec.response_time
         msgs = self.network.stats.messages_delivered
         byts = self.network.stats.bytes_transferred
         self.minutes.append(
@@ -78,24 +126,17 @@ class MetricsCollector:
                 time_s=t1,
                 messages=msgs - self._last_messages,
                 bytes_transferred=byts - self._last_bytes,
-                queries_issued=issued,
-                queries_succeeded=succeeded,
-                mean_response_time_s=(rt_sum / rt_n) if rt_n else None,
+                queries_issued=issued[0],
+                queries_succeeded=succeeded[0],
+                mean_response_time_s=(
+                    rt_sum[0] / succeeded[0] if succeeded[0] else None
+                ),
+                attack_queries_issued=issued[1],
+                attack_queries_succeeded=succeeded[1],
+                attack_mean_response_time_s=(
+                    rt_sum[1] / succeeded[1] if succeeded[1] else None
+                ),
             )
         )
         self._last_messages = msgs
         self._last_bytes = byts
-
-    # ------------------------------------------------------------------
-    def success_series(self) -> TimeSeries:
-        return TimeSeries((m.time_s, m.success_rate) for m in self.minutes)
-
-    def traffic_series(self) -> TimeSeries:
-        return TimeSeries((m.time_s, float(m.messages)) for m in self.minutes)
-
-    def response_series(self) -> TimeSeries:
-        return TimeSeries(
-            (m.time_s, m.mean_response_time_s)
-            for m in self.minutes
-            if m.mean_response_time_s is not None
-        )

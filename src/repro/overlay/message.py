@@ -37,7 +37,7 @@ class MessageKind(enum.Enum):
     NEIGHBOR_TRAFFIC = 0x83  # DD-POLICE Neighbor_Traffic (Section 3.3, Table 1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """Base overlay message.
 
@@ -77,7 +77,7 @@ class Message:
         return clone
 
 
-@dataclass
+@dataclass(slots=True)
 class Ping(Message):
     """Keep-alive / discovery probe (also used for BG liveness pings)."""
 
@@ -86,7 +86,7 @@ class Ping(Message):
         self.payload_size = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Pong(Message):
     """Response to a Ping; advertises the responder's address + library."""
 
@@ -98,7 +98,7 @@ class Pong(Message):
         self.payload_size = 14  # port(2) + ip(4) + files(4) + kbytes(4)
 
 
-@dataclass
+@dataclass(slots=True)
 class Query(Message):
     """Flooded search request.
 
@@ -123,7 +123,7 @@ class Query(Message):
         return " ".join(self.keywords)
 
 
-@dataclass
+@dataclass(slots=True)
 class QueryHit(Message):
     """Response to a Query; routed back hop-by-hop on the reverse path."""
 
@@ -137,7 +137,7 @@ class QueryHit(Message):
         self.payload_size = 11 + 40 * max(1, self.result_count) + 16
 
 
-@dataclass
+@dataclass(slots=True)
 class Bye(Message):
     """Graceful connection close, optionally with a reason code.
 
@@ -160,7 +160,7 @@ class Bye(Message):
         self.payload_size = 2 + len(self.reason_text)
 
 
-@dataclass
+@dataclass(slots=True)
 class NeighborListMessage(Message):
     """Periodic neighbor-list exchange (Section 3.1).
 
@@ -181,7 +181,7 @@ class NeighborListMessage(Message):
         self.payload_size = 4 + 6 * len(self.neighbors)  # ip(4)+port(2) each
 
 
-@dataclass
+@dataclass(slots=True)
 class NeighborTrafficMessage(Message):
     """DD-POLICE ``Neighbor_Traffic`` message (Section 3.3, Table 1).
 

@@ -13,10 +13,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.errors import ConfigError, ProtocolError
+from repro.metrics.accounting import QueryAccounting
 from repro.overlay.capacity import TokenBucket
 from repro.overlay.content import ContentCatalog, ContentConfig
 from repro.overlay.ids import Guid, GuidFactory, PeerId
-from repro.overlay.message import Message, Query, QueryHit
+from repro.overlay.message import Message, MessageKind, Query, QueryHit
 from repro.overlay.peer import Peer
 from repro.overlay.topology import Topology
 from repro.simkit.engine import Simulator
@@ -38,6 +39,16 @@ class NetworkConfig:
     #: downstream budget are dropped in flight. Off by default so unit
     #: tests see lossless links.
     bandwidth_enabled: bool = False
+    #: Drop settled ``QueryRecord``s once their window's grace period has
+    #: elapsed, folding them into compact per-class running aggregates.
+    #: Bounds metrics memory at paper scale; turn off only for the legacy
+    #: full-scan collector (which needs every record retained).
+    retire_settled_records: bool = True
+    #: Windows to wait after a minute closes before its metrics row is
+    #: emitted and its records retired (in-flight responses land during
+    #: the grace). ``MetricsCollector`` may override before the first
+    #: rollover.
+    metrics_grace_minutes: int = 1
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -60,11 +71,22 @@ class NetworkConfig:
             raise ConfigError(
                 f"processing_qpm_good must be positive, got {self.processing_qpm_good}"
             )
+        if self.metrics_grace_minutes < 0:
+            raise ConfigError(
+                f"metrics_grace_minutes must be non-negative, "
+                f"got {self.metrics_grace_minutes}"
+            )
 
 
-@dataclass
+@dataclass(slots=True)
 class QueryRecord:
-    """Per-issued-query bookkeeping."""
+    """Per-issued-query bookkeeping.
+
+    Records live only until their minute window is finalized (grace
+    elapsed); after that they are retired into the accounting's per-class
+    running aggregates. ``is_attack`` is the issue-time origin class,
+    ``window`` the minute-window index the issue fell into.
+    """
 
     guid: Guid
     origin: PeerId
@@ -72,6 +94,8 @@ class QueryRecord:
     object_id: Optional[int] = None
     first_response_at: Optional[float] = None
     responses: int = 0
+    is_attack: bool = False
+    window: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -127,6 +151,14 @@ class OverlayNetwork:
         )
         self.stats = NetworkStats()
         self.query_records: Dict[bytes, QueryRecord] = {}
+        #: Peers registered as attack-query origins (DDoS agents). Queries
+        #: they originate are classified ATTACK at issue time and excluded
+        #: from the default service metrics (see docs/METRICS.md).
+        self.attack_origins: Set[PeerId] = set()
+        self.accounting = QueryAccounting(
+            grace_minutes=config.metrics_grace_minutes,
+            retire_records=config.retire_settled_records,
+        )
         self.minute_listeners: List[Callable[[int, float], None]] = []
         self.minute_index = 0
         #: Optional fault layer; set by ``FaultInjector.attach``. ``None``
@@ -166,11 +198,17 @@ class OverlayNetwork:
             for v in topology.adjacency[u]:
                 pu.add_neighbor(PeerId(v))
 
+        # Negative priority: the roll must observe state *before* any
+        # application event scheduled at the exact window boundary, so a
+        # query issued at t == 120.0 lands in the [120, 180) window for
+        # both the incremental accounting (rolls counter) and the legacy
+        # timestamp scan.
         self._minute_task = PeriodicTask(
             sim,
             config.minute_window_s,
             self._roll_minute,
             start_delay=config.minute_window_s,
+            priority=-1,
         )
 
     # ------------------------------------------------------------------
@@ -226,18 +264,29 @@ class OverlayNetwork:
             delay = shaped
         self.sim.schedule_in(delay, self._deliver, src, dst, msg)
 
+    #: kind-keyed stats dispatch: which NetworkStats counter one delivery
+    #: of each message kind bumps (everything non-query/non-hit is control
+    #: plane). Replaces an isinstance chain on the hottest path.
+    _STATS_COUNTER = {
+        kind: (
+            "query_messages"
+            if kind is MessageKind.QUERY
+            else "hit_messages"
+            if kind is MessageKind.QUERY_HIT
+            else "control_messages"
+        )
+        for kind in MessageKind
+    }
+
     def _deliver(self, src: PeerId, dst: PeerId, msg: Message) -> None:
         peer = self.peers[dst]
         if not peer.online:
             return
-        self.stats.messages_delivered += 1
-        self.stats.bytes_transferred += msg.size_bytes
-        if isinstance(msg, Query):
-            self.stats.query_messages += 1
-        elif isinstance(msg, QueryHit):
-            self.stats.hit_messages += 1
-        else:
-            self.stats.control_messages += 1
+        stats = self.stats
+        stats.messages_delivered += 1
+        stats.bytes_transferred += msg.size_bytes
+        counter = self._STATS_COUNTER[msg.kind]
+        setattr(stats, counter, getattr(stats, counter) + 1)
         peer.on_message(src, msg)
 
     # ------------------------------------------------------------------
@@ -259,6 +308,23 @@ class OverlayNetwork:
         return set(self.peers[pid].neighbors)
 
     # ------------------------------------------------------------------
+    # attack-origin registry
+    # ------------------------------------------------------------------
+    def register_attack_origin(self, pid: PeerId) -> None:
+        """Mark ``pid`` as an attack-query origin (called by DDoS agents).
+
+        Classification is at *issue* time: queries the peer originated
+        before compromise keep their GOOD class, everything after is
+        ATTACK -- the ground truth behind the paper's good-only S(t).
+        """
+        if pid not in self.peers:
+            raise ProtocolError(f"unknown peer {pid}")
+        self.attack_origins.add(pid)
+
+    def unregister_attack_origin(self, pid: PeerId) -> None:
+        self.attack_origins.discard(pid)
+
+    # ------------------------------------------------------------------
     # query bookkeeping
     # ------------------------------------------------------------------
     def note_query_issued(self, origin: PeerId, msg: Query) -> None:
@@ -267,8 +333,15 @@ class OverlayNetwork:
             obj = self.content.object_for_keywords(msg.keywords)
         except ConfigError:
             obj = None
+        is_attack = origin in self.attack_origins
+        window = self.accounting.on_issued(msg.guid.raw, is_attack)
         self.query_records[msg.guid.raw] = QueryRecord(
-            guid=msg.guid, origin=origin, issued_at=self.now, object_id=obj
+            guid=msg.guid,
+            origin=origin,
+            issued_at=self.now,
+            object_id=obj,
+            is_attack=is_attack,
+            window=window,
         )
 
     def note_query_hit(self, responder: PeerId, query: Query, hit: QueryHit) -> None:
@@ -284,6 +357,9 @@ class OverlayNetwork:
         rec.responses += 1
         if rec.first_response_at is None:
             rec.first_response_at = self.now
+            self.accounting.on_first_response(
+                rec.window, rec.is_attack, self.now - rec.issued_at
+            )
 
     def note_query_dropped(self, pid: PeerId, msg: Query) -> None:
         self.stats.queries_dropped_capacity += 1
@@ -296,26 +372,30 @@ class OverlayNetwork:
         for peer in self.peers.values():
             if peer.online:
                 peer.roll_minute_window()
+        retired = self.accounting.on_minute_rolled(
+            self.now,
+            self.stats.messages_delivered,
+            self.stats.bytes_transferred,
+        )
+        records = self.query_records
+        for key in retired:
+            records.pop(key, None)
         for listener in self.minute_listeners:
             listener(self.minute_index, self.now)
 
     # ------------------------------------------------------------------
     # summaries
     # ------------------------------------------------------------------
-    def success_rate(self) -> float:
-        """Fraction of issued queries with >= 1 response (S(t) overall)."""
-        recs = self.query_records.values()
-        total = len(self.query_records)
-        if total == 0:
-            return 0.0
-        return sum(1 for r in recs if r.succeeded) / total
+    def success_rate(self, traffic: str = "good") -> float:
+        """Fraction of issued queries with >= 1 response, whole run.
 
-    def mean_response_time(self) -> Optional[float]:
-        times = [
-            r.response_time
-            for r in self.query_records.values()
-            if r.response_time is not None
-        ]
-        if not times:
-            return None
-        return sum(times) / len(times)
+        Defaults to good-origin queries only -- the paper's S(t)
+        denominator. Pass ``traffic="all"`` for the pre-fix diagnostic
+        that also counts agent-originated bogus queries, or
+        ``traffic="attack"`` for the agents alone.
+        """
+        return self.accounting.success_rate(traffic)
+
+    def mean_response_time(self, traffic: str = "good") -> Optional[float]:
+        """Mean first-response time of answered queries, whole run."""
+        return self.accounting.mean_response_time(traffic)

@@ -30,7 +30,7 @@ from repro.overlay.ids import Guid, PeerId
 from repro.overlay.message import (
     Bye,
     Message,
-    NeighborListMessage,
+    MessageKind,
     NeighborTrafficMessage,
     Ping,
     Pong,
@@ -84,6 +84,27 @@ class Peer:
         load-balancing baseline).
     """
 
+    __slots__ = (
+        "id",
+        "network",
+        "state",
+        "neighbors",
+        "processing",
+        "upstream_qpm",
+        "counters",
+        "_route_back",
+        "_seen",
+        "out_query_window",
+        "in_query_window",
+        "last_minute_out",
+        "last_minute_in",
+        "query_taps",
+        "control_handlers",
+        "forward_filters",
+        "disconnect_listeners",
+        "connect_listeners",
+    )
+
     def __init__(
         self,
         peer_id: PeerId,
@@ -135,6 +156,11 @@ class Peer:
         self._seen.clear()
         self.out_query_window.clear()
         self.in_query_window.clear()
+        # The completed-minute snapshots describe connections that no
+        # longer exist; a rejoining peer must not report pre-departure
+        # traffic to DD-POLICE.
+        self.last_minute_out = {}
+        self.last_minute_in = {}
 
     @property
     def online(self) -> bool:
@@ -183,7 +209,11 @@ class Peer:
     # ------------------------------------------------------------------
     def _send(self, dst: PeerId, msg: Message) -> None:
         self.counters.bytes_sent += msg.size_bytes
-        if isinstance(msg, Query):
+        # Count only current neighbors: otherwise a send racing a
+        # disconnect would resurrect the departed neighbor's counter key,
+        # and the ghost entry would haunt every later minute snapshot
+        # (roll_minute_window zeroes keys, it never prunes them).
+        if msg.kind is MessageKind.QUERY and dst in self.neighbors:
             self.out_query_window[dst] = self.out_query_window.get(dst, 0) + 1
         self.network.transmit(self.id, dst, msg)
 
@@ -246,21 +276,23 @@ class Peer:
     # receiving
     # ------------------------------------------------------------------
     def on_message(self, src: PeerId, msg: Message) -> None:
-        """Entry point for all deliveries (called by the network)."""
+        """Entry point for all deliveries (called by the network).
+
+        Dispatch is a ``kind``-keyed table (see ``_DISPATCH`` below) rather
+        than an isinstance chain: one dict hit per delivery on the hottest
+        receive path.
+        """
         if not self.online:
             return
         self.counters.bytes_received += msg.size_bytes
-        if isinstance(msg, Query):
-            self._on_query(src, msg)
-        elif isinstance(msg, QueryHit):
-            self._on_query_hit(src, msg)
-        elif isinstance(msg, Ping):
-            self._on_ping(src, msg)
-        elif isinstance(msg, (Pong, NeighborListMessage, NeighborTrafficMessage, Bye)):
-            for handler in self.control_handlers:
-                handler(src, msg)
-        else:  # pragma: no cover - future message kinds
+        handler = self._DISPATCH.get(msg.kind)
+        if handler is None:  # pragma: no cover - future message kinds
             raise ProtocolError(f"unhandled message kind {msg.kind}")
+        handler(self, src, msg)
+
+    def _on_control(self, src: PeerId, msg: Message) -> None:
+        for handler in self.control_handlers:
+            handler(src, msg)
 
     def _on_ping(self, src: PeerId, msg: Ping) -> None:
         pong = Pong(
@@ -274,7 +306,10 @@ class Peer:
 
     def _on_query(self, src: PeerId, msg: Query) -> None:
         self.counters.queries_received += 1
-        self.in_query_window[src] = self.in_query_window.get(src, 0) + 1
+        # In-flight queries delivered after remove_neighbor must not
+        # re-create the departed neighbor's counter key (see _send).
+        if src in self.neighbors:
+            self.in_query_window[src] = self.in_query_window.get(src, 0) + 1
         for tap in self.query_taps:
             tap(src, msg)
 
@@ -355,3 +390,14 @@ class Peer:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Peer({self.id.value}, deg={len(self.neighbors)}, {self.state.value})"
+
+    #: kind-keyed receive dispatch (class-level; instances stay slotted).
+    _DISPATCH = {
+        MessageKind.QUERY: _on_query,
+        MessageKind.QUERY_HIT: _on_query_hit,
+        MessageKind.PING: _on_ping,
+        MessageKind.PONG: _on_control,
+        MessageKind.NEIGHBOR_LIST: _on_control,
+        MessageKind.NEIGHBOR_TRAFFIC: _on_control,
+        MessageKind.BYE: _on_control,
+    }

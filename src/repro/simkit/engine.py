@@ -3,6 +3,10 @@
 The engine owns a virtual clock and a binary heap of :class:`Event`
 objects. Cancellation is lazy: cancelled events stay in the heap and are
 skipped on pop, which keeps ``cancel`` O(1) and pop amortized O(log n).
+Cancelled events are counted live (events report their cancellation back
+to the owning simulator), so ``pending_count`` is O(1), and the heap is
+compacted in place once cancelled entries dominate it -- long runs with
+heavy timer churn stay bounded by the *live* event population.
 """
 
 from __future__ import annotations
@@ -10,7 +14,11 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
-from repro.simkit.events import Event
+from repro.simkit.events import Event, EventState
+
+#: Compaction never triggers below this many cancelled entries; above it,
+#: the heap is rebuilt once cancelled entries outnumber pending ones.
+COMPACTION_MIN_CANCELLED = 256
 
 
 class SimulationError(RuntimeError):
@@ -42,6 +50,7 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._events_fired = 0
+        self._cancelled_in_heap = 0
 
     # -- clock ------------------------------------------------------------
     @property
@@ -56,8 +65,8 @@ class Simulator:
 
     @property
     def pending_count(self) -> int:
-        """Number of pending (non-cancelled) events in the queue."""
-        return sum(1 for e in self._heap if e.pending)
+        """Number of pending (non-cancelled) events in the queue. O(1)."""
+        return len(self._heap) - self._cancelled_in_heap
 
     # -- scheduling --------------------------------------------------------
     def schedule_at(
@@ -74,6 +83,7 @@ class Simulator:
                 f"cannot schedule into the past: t={time} < now={self._now}"
             )
         ev = Event(time, self._seq, callback, args, priority=priority, tag=tag)
+        ev.owner = self
         self._seq += 1
         heapq.heappush(self._heap, ev)
         return ev
@@ -93,13 +103,40 @@ class Simulator:
             self._now + delay, callback, *args, priority=priority, tag=tag
         )
 
+    # -- cancellation accounting -------------------------------------------
+    def note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` on events owned by this simulator.
+
+        Keeps the cancelled-entry counter live and compacts the heap when
+        cancelled entries dominate, so lazy cancellation cannot grow the
+        heap beyond ~2x the live event population.
+        """
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap >= COMPACTION_MIN_CANCELLED
+            and self._cancelled_in_heap * 2 >= len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        self._heap = [e for e in self._heap if e.pending]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+
+    def _pop_cancelled(self) -> Event:
+        """Pop the heap top known to be cancelled, maintaining the counter."""
+        ev = heapq.heappop(self._heap)
+        self._cancelled_in_heap -= 1
+        return ev
+
     # -- execution ---------------------------------------------------------
     def step(self) -> Optional[Event]:
         """Fire the single next pending event; return it, or None if empty."""
         while self._heap:
-            ev = heapq.heappop(self._heap)
-            if ev.cancelled:
+            if self._heap[0].cancelled:
+                self._pop_cancelled()
                 continue
+            ev = heapq.heappop(self._heap)
             self._now = ev.time
             ev.fire()
             self._events_fired += 1
@@ -128,7 +165,7 @@ class Simulator:
                     break
                 nxt = self._heap[0]
                 if nxt.cancelled:
-                    heapq.heappop(self._heap)
+                    self._pop_cancelled()
                     continue
                 if until is not None and nxt.time > until:
                     break
@@ -150,12 +187,20 @@ class Simulator:
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            self._pop_cancelled()
         return self._heap[0].time if self._heap else None
 
     def drain(self) -> Tuple[int, int]:
-        """Discard all queued events; returns (pending, cancelled) counts."""
-        pending = sum(1 for e in self._heap if e.pending)
-        cancelled = len(self._heap) - pending
+        """Discard all queued events; returns (pending, cancelled) counts.
+
+        Discarded pending events are transitioned to CANCELLED so a later
+        ``cancel()`` on a held reference cannot corrupt the live counter.
+        """
+        pending = len(self._heap) - self._cancelled_in_heap
+        cancelled = self._cancelled_in_heap
+        for ev in self._heap:
+            if ev.pending:
+                ev.state = EventState.CANCELLED
         self._heap.clear()
+        self._cancelled_in_heap = 0
         return pending, cancelled

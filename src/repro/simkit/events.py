@@ -37,7 +37,7 @@ class Event:
         that must observe state *before* same-time application events.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "state", "tag")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "state", "tag", "owner")
 
     def __init__(
         self,
@@ -57,6 +57,10 @@ class Event:
         self.args = args
         self.state = EventState.PENDING
         self.tag = tag
+        #: Owning scheduler, set by ``Simulator.schedule_at``; lets
+        #: ``cancel`` report lazily-cancelled events so the engine can keep
+        #: an O(1) pending count and compact the heap.
+        self.owner: Optional[Any] = None
 
     @property
     def sort_key(self) -> Tuple[float, int, int]:
@@ -66,6 +70,8 @@ class Event:
         """Cancel a pending event. Returns True if it was still pending."""
         if self.state is EventState.PENDING:
             self.state = EventState.CANCELLED
+            if self.owner is not None:
+                self.owner.note_cancelled()
             return True
         return False
 

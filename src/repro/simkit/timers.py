@@ -29,9 +29,16 @@ class PeriodicTask:
     jitter:
         Optional uniform jitter in ``[0, jitter)`` added to each interval,
         drawn from ``rng``; desynchronizes protocol rounds across peers the
-        way real deployments drift.
+        way real deployments drift. Requires an explicit ``rng``: a shared
+        fallback seed would hand every task the *same* jitter sequence,
+        keeping rounds synchronized -- the opposite of jitter's purpose.
     start_delay:
         Delay before the first firing (default: one full period).
+    priority:
+        Event priority for every firing. Bookkeeping tasks that must
+        observe state *before* same-time application events (e.g. the
+        per-minute metrics roll vs. attack batches fired exactly on the
+        minute boundary) should use a negative priority.
     """
 
     def __init__(
@@ -43,21 +50,31 @@ class PeriodicTask:
         jitter: float = 0.0,
         start_delay: Optional[float] = None,
         rng: Optional[random.Random] = None,
+        priority: int = 0,
     ) -> None:
         if period <= 0:
             raise ValueError(f"period must be positive, got {period}")
         if jitter < 0:
             raise ValueError(f"jitter must be non-negative, got {jitter}")
+        if jitter > 0 and rng is None:
+            raise ValueError(
+                "jitter > 0 requires an explicit rng: independently-created "
+                "tasks sharing a default seed would draw identical jitter "
+                "sequences and stay synchronized"
+            )
         self._sim = sim
         self._period = float(period)
         self._callback = callback
         self._jitter = float(jitter)
-        self._rng = rng or random.Random(0)
+        self._rng = rng
+        self._priority = priority
         self._event: Optional[Event] = None
         self._stopped = False
         self.fire_count = 0
         first = self._period if start_delay is None else float(start_delay)
-        self._event = sim.schedule_in(first + self._draw_jitter(), self._tick)
+        self._event = sim.schedule_in(
+            first + self._draw_jitter(), self._tick, priority=priority
+        )
 
     def _draw_jitter(self) -> float:
         return self._rng.uniform(0.0, self._jitter) if self._jitter > 0 else 0.0
@@ -69,7 +86,8 @@ class PeriodicTask:
         self._callback()
         if not self._stopped:
             self._event = self._sim.schedule_in(
-                self._period + self._draw_jitter(), self._tick
+                self._period + self._draw_jitter(), self._tick,
+                priority=self._priority,
             )
 
     @property

@@ -1,0 +1,165 @@
+"""Unit tests for the origin-aware incremental query accounting."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics.accounting import ClassTotals, MinuteMetrics, QueryAccounting
+
+
+def roll(acc, now, messages=0, bytes_=0):
+    return acc.on_minute_rolled(now, messages, bytes_)
+
+
+def test_window_attribution_follows_roll_counter():
+    acc = QueryAccounting(grace_minutes=1)
+    assert acc.on_issued(b"a", False) == 0
+    roll(acc, 60.0)
+    assert acc.on_issued(b"b", False) == 1
+    assert acc.on_issued(b"c", True) == 1
+    roll(acc, 120.0)
+    roll(acc, 180.0)
+    assert [m.minute for m in acc.rows] == [1, 2]
+    assert acc.rows[0].queries_issued == 1
+    assert acc.rows[1].queries_issued == 1
+    assert acc.rows[1].attack_queries_issued == 1
+
+
+def test_rows_emitted_grace_minutes_after_window_close():
+    acc = QueryAccounting(grace_minutes=2)
+    acc.on_issued(b"a", False)
+    roll(acc, 60.0)
+    roll(acc, 120.0)
+    assert acc.rows == []  # window 1 still within grace
+    roll(acc, 180.0)
+    assert [m.minute for m in acc.rows] == [1]
+    assert acc.rows[0].time_s == 60.0
+
+
+def test_response_within_grace_counts_in_row_and_totals():
+    acc = QueryAccounting(grace_minutes=1)
+    w = acc.on_issued(b"a", False)
+    roll(acc, 60.0)
+    # response arrives during the grace minute, before finalization
+    acc.on_first_response(w, False, 1.5)
+    roll(acc, 120.0)
+    (row,) = acc.rows
+    assert row.queries_succeeded == 1
+    assert row.mean_response_time_s == 1.5
+    assert acc.totals("good").succeeded == 1
+    assert acc.late_responses == 0
+
+
+def test_response_after_finalization_is_late_and_ignored():
+    acc = QueryAccounting(grace_minutes=0, retire_records=False)
+    w = acc.on_issued(b"a", False)
+    roll(acc, 60.0)  # grace 0: window finalized immediately
+    acc.on_first_response(w, False, 2.0)
+    assert acc.late_responses == 1
+    assert acc.rows[0].queries_succeeded == 0
+    assert acc.totals("good").succeeded == 0
+
+
+def test_retirement_returns_keys_of_finalized_window_only():
+    acc = QueryAccounting(grace_minutes=1)
+    acc.on_issued(b"a", False)
+    acc.on_issued(b"b", True)
+    assert roll(acc, 60.0) == ()
+    acc.on_issued(b"c", False)
+    assert list(roll(acc, 120.0)) == [b"a", b"b"]
+    assert list(roll(acc, 180.0)) == [b"c"]
+
+
+def test_no_keys_tracked_when_retirement_off():
+    acc = QueryAccounting(grace_minutes=0, retire_records=False)
+    acc.on_issued(b"a", False)
+    assert roll(acc, 60.0) == ()
+
+
+def test_live_window_count_is_bounded_by_grace_plus_one():
+    acc = QueryAccounting(grace_minutes=1)
+    for minute in range(50):
+        acc.on_issued(f"q{minute}".encode(), minute % 3 == 0)
+        roll(acc, 60.0 * (minute + 1))
+        assert acc.live_window_count <= 2
+    assert len(acc.rows) == 49
+
+
+def test_empty_windows_emit_zero_rows():
+    acc = QueryAccounting(grace_minutes=1)
+    roll(acc, 60.0)
+    roll(acc, 120.0)
+    (row,) = acc.rows
+    assert row.queries_issued == 0
+    assert row.success_rate == 0.0
+    assert row.mean_response_time_s is None
+
+
+def test_message_and_byte_deltas_per_row():
+    acc = QueryAccounting(grace_minutes=0)
+    roll(acc, 60.0, messages=100, bytes_=1000)
+    roll(acc, 120.0, messages=250, bytes_=2600)
+    assert [m.messages for m in acc.rows] == [100, 150]
+    assert [m.bytes_transferred for m in acc.rows] == [1000, 1600]
+
+
+def test_per_class_totals_and_all_merge():
+    acc = QueryAccounting(grace_minutes=1)
+    w = acc.on_issued(b"g", False)
+    acc.on_issued(b"x", True)
+    acc.on_first_response(w, False, 0.5)
+    assert acc.totals("good").issued == 1
+    assert acc.totals("attack").issued == 1
+    assert acc.totals("all").issued == 2
+    assert acc.success_rate("good") == 1.0
+    assert acc.success_rate("attack") == 0.0
+    assert acc.success_rate("all") == 0.5
+    assert acc.mean_response_time("good") == 0.5
+    assert acc.mean_response_time("attack") is None
+    with pytest.raises(ConfigError):
+        acc.totals("bogus")
+
+
+def test_configure_grace_rejected_after_first_roll():
+    acc = QueryAccounting(grace_minutes=1)
+    acc.configure_grace(2)  # fine before any roll
+    assert acc.grace_minutes == 2
+    roll(acc, 60.0)
+    acc.configure_grace(2)  # no-op is always allowed
+    with pytest.raises(ConfigError):
+        acc.configure_grace(3)
+    with pytest.raises(ConfigError):
+        acc.configure_grace(-1)
+
+
+def test_negative_grace_rejected_at_construction():
+    with pytest.raises(ConfigError):
+        QueryAccounting(grace_minutes=-1)
+
+
+def test_class_totals_merge_and_rates():
+    a = ClassTotals(issued=4, succeeded=2, response_time_sum=3.0)
+    b = ClassTotals(issued=6, succeeded=3, response_time_sum=2.0)
+    m = a.merged_with(b)
+    assert (m.issued, m.succeeded, m.response_time_sum) == (10, 5, 5.0)
+    assert m.success_rate == 0.5
+    assert m.mean_response_time == 1.0
+    assert ClassTotals().success_rate == 0.0
+    assert ClassTotals().mean_response_time is None
+
+
+def test_minute_metrics_all_traffic_properties():
+    row = MinuteMetrics(
+        minute=1,
+        time_s=60.0,
+        messages=0,
+        bytes_transferred=0,
+        queries_issued=8,
+        queries_succeeded=6,
+        mean_response_time_s=0.4,
+        attack_queries_issued=92,
+        attack_queries_succeeded=0,
+    )
+    assert row.success_rate == 0.75
+    assert row.all_queries_issued == 100
+    assert row.all_queries_succeeded == 6
+    assert row.all_success_rate == 0.06

@@ -1,9 +1,7 @@
 """Unit tests for the per-minute metrics collector."""
 
-import pytest
-
 from repro.metrics.collectors import MetricsCollector
-from repro.overlay.ids import PeerId
+from repro.overlay.network import NetworkConfig
 from repro.workload.generator import QueryWorkload, WorkloadConfig
 from tests.conftest import make_network
 
@@ -24,7 +22,15 @@ def test_minutes_collected_with_grace():
 
 
 def test_window_counts_queries_issued_in_window():
-    sim, net = make_network(ring(10), seed=2)
+    # retirement off: the assertion below scans query_records directly,
+    # which only stays complete when settled records are retained
+    sim, net = make_network(
+        ring(10),
+        seed=2,
+        config=NetworkConfig(
+            hop_latency_jitter_s=0.0, seed=2, retire_settled_records=False
+        ),
+    )
     collector = MetricsCollector(net, grace_minutes=1)
     wl = QueryWorkload(sim, net, WorkloadConfig(queries_per_minute=6.0, seed=2))
     wl.start()

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ProtocolError
 from repro.overlay.ids import PeerId
-from repro.overlay.message import Bye, Ping, Query
+from repro.overlay.message import Bye, Ping
 from tests.conftest import make_network
 
 
@@ -193,3 +193,58 @@ def test_forward_filter_can_veto(star_network):
     # center received but forwarded nothing
     assert net.peers[PeerId(2)].counters.queries_received == 0
     assert center.counters.queries_forwarded == 0
+
+
+def test_go_offline_clears_last_minute_snapshots(line_network):
+    sim, net = line_network
+    p0, p1 = net.peers[PeerId(0)], net.peers[PeerId(1)]
+    p0.issue_query(("nosuch", "idq1"))
+    run(sim, 61.0)  # one roll: snapshots populated
+    assert p1.last_minute_in[PeerId(0)] == 1
+    p1.go_offline()
+    # the snapshots describe connections that no longer exist; a
+    # rejoining peer must not report pre-departure traffic to DD-POLICE
+    assert p1.last_minute_in == {}
+    assert p1.last_minute_out == {}
+
+
+def test_churn_round_trip_snapshots_only_cover_current_session(line_network):
+    sim, net = line_network
+    p0, p1 = net.peers[PeerId(0)], net.peers[PeerId(1)]
+    p0.issue_query(("nosuch", "idq1"))
+    p0.issue_query(("nosuch", "idq2"))
+    run(sim, 61.0)
+    assert p1.last_minute_in[PeerId(0)] == 2
+    p1.go_offline()
+    p1.go_online()
+    p1.add_neighbor(PeerId(0))
+    p1.add_neighbor(PeerId(2))
+    run(sim, 121.0)  # next roll, no traffic in the new session
+    assert p1.last_minute_in == {PeerId(0): 0, PeerId(2): 0}
+    assert p1.last_minute_out == {PeerId(0): 0, PeerId(2): 0}
+
+
+def test_in_flight_query_cannot_resurrect_removed_counter(line_network):
+    sim, net = line_network
+    p0, p1 = net.peers[PeerId(0)], net.peers[PeerId(1)]
+    p0.issue_query(("nosuch", "idz"))  # delivery is in flight (hop latency)
+    p1.remove_neighbor(PeerId(0))
+    assert PeerId(0) not in p1.in_query_window
+    run(sim)
+    # the late arrival was processed but must not recreate the counter
+    # key: DD-POLICE would otherwise report traffic for a connection the
+    # peer already tore down
+    assert p1.counters.queries_received == 1
+    assert PeerId(0) not in p1.in_query_window
+    assert PeerId(0) not in p1.last_minute_in
+
+
+def test_query_to_departed_neighbor_not_counted_out(line_network):
+    sim, net = line_network
+    p0 = net.peers[PeerId(0)]
+    p0.issue_query(("nosuch", "ida"))
+    assert p0.out_query_window[PeerId(1)] == 1
+    p0.remove_neighbor(PeerId(1))
+    assert PeerId(1) not in p0.out_query_window
+    run(sim, 61.0)
+    assert PeerId(1) not in p0.last_minute_out

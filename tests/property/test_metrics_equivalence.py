@@ -1,0 +1,130 @@
+"""Property test: incremental accounting == legacy full-scan collector.
+
+The incremental metrics path (O(1) per event, bounded memory) replaced
+the per-minute scan over every ``QueryRecord``.  The legacy collector is
+kept in-tree behind ``DESConfig(metrics_mode="legacy")`` as the oracle:
+for any seeded workload -- including churn, an attack flood, and
+injected message faults -- both paths must produce the same per-minute
+rows, because identical seeds give identical event streams and neither
+path perturbs the simulation it measures.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.churn.lifetimes import LifetimeConfig
+from repro.churn.process import ChurnConfig
+from repro.experiments.runner import DESConfig, run_des_experiment
+from repro.faults.plan import FaultPlan
+from repro.overlay.topology import TopologyConfig
+from repro.workload.generator import WorkloadConfig
+
+TOL = 1e-9
+
+
+def _config(seed: int, **overrides) -> DESConfig:
+    base = dict(
+        n=40,
+        duration_s=360.0,
+        seed=seed,
+        topology=TopologyConfig(n=40, seed=seed),
+        workload=WorkloadConfig(queries_per_minute=4.0, seed=seed),
+    )
+    base.update(overrides)
+    return DESConfig(**base)
+
+
+def _assert_rows_equal(incremental, legacy):
+    inc_rows = incremental.collector.minutes
+    leg_rows = legacy.collector.minutes
+    assert len(inc_rows) == len(leg_rows) > 0
+    for i, (a, b) in enumerate(zip(inc_rows, leg_rows)):
+        assert a.minute == b.minute, i
+        assert a.time_s == pytest.approx(b.time_s, abs=TOL)
+        assert a.messages == b.messages
+        assert a.bytes_transferred == b.bytes_transferred
+        assert a.queries_issued == b.queries_issued
+        assert a.queries_succeeded == b.queries_succeeded
+        assert a.attack_queries_issued == b.attack_queries_issued
+        assert a.attack_queries_succeeded == b.attack_queries_succeeded
+        for attr in ("mean_response_time_s", "attack_mean_response_time_s"):
+            x, y = getattr(a, attr), getattr(b, attr)
+            if x is None or y is None:
+                assert x == y, (i, attr)
+            else:
+                assert x == pytest.approx(y, abs=TOL), (i, attr)
+    # whole-run summaries agree too
+    assert incremental.success_rate == pytest.approx(legacy.success_rate, abs=TOL)
+    assert incremental.success_rate_all_traffic == pytest.approx(
+        legacy.success_rate_all_traffic, abs=TOL
+    )
+
+
+def _run_both(config: DESConfig):
+    incremental = run_des_experiment(config)
+    legacy = run_des_experiment(replace(config, metrics_mode="legacy"))
+    return incremental, legacy
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [0, 7, 23])
+def test_equivalence_plain_workload(seed):
+    _assert_rows_equal(*_run_both(_config(seed)))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [11, 42])
+def test_equivalence_under_churn_and_attack(seed):
+    cfg = _config(
+        seed,
+        churn=ChurnConfig(
+            lifetime=LifetimeConfig(family="exponential", mean_s=180.0),
+            offtime=LifetimeConfig(family="exponential", mean_s=90.0),
+            enabled=True,
+            seed=seed,
+        ),
+        num_agents=3,
+        attack_start_s=90.0,
+        attack_rate_qpm=1_500.0,
+    )
+    incremental, legacy = _run_both(cfg)
+    _assert_rows_equal(incremental, legacy)
+    # the scenario must actually exercise the attack class
+    assert any(m.attack_queries_issued for m in incremental.collector.minutes)
+
+
+@pytest.mark.slow
+def test_equivalence_with_faults_and_defense():
+    cfg = _config(
+        5,
+        churn=ChurnConfig(
+            lifetime=LifetimeConfig(family="exponential", mean_s=200.0),
+            offtime=LifetimeConfig(family="exponential", mean_s=100.0),
+            enabled=True,
+            seed=5,
+        ),
+        num_agents=2,
+        attack_start_s=60.0,
+        attack_rate_qpm=1_000.0,
+        defense="ddpolice",
+        faults=FaultPlan.message_loss(0.02, start_s=30.0),
+    )
+    _assert_rows_equal(*_run_both(cfg))
+
+
+def test_legacy_mode_forces_record_retention():
+    incremental, legacy = _run_both(_config(3, duration_s=240.0))
+    # incremental default retires settled records; legacy keeps them all
+    assert legacy.network.config.retire_settled_records is False
+    assert len(legacy.network.query_records) > len(incremental.network.query_records)
+
+
+def test_incremental_memory_stays_bounded():
+    run = run_des_experiment(_config(3, duration_s=240.0))
+    assert run.network.accounting.live_window_count <= 2  # grace + 1
+    # only queries from unfinalized windows remain live
+    rolls = int(run.config.duration_s // 60.0)
+    tail_start = (rolls - 1) * 60.0
+    for rec in run.network.query_records.values():
+        assert rec.issued_at >= tail_start - 60.0

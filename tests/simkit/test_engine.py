@@ -198,3 +198,45 @@ def test_events_fired_counter():
         sim.schedule_at(float(i), lambda: None)
     sim.run()
     assert sim.events_fired == 5
+
+
+def test_pending_count_is_exact_under_heavy_cancellation():
+    sim = Simulator()
+    events = [sim.schedule_at(float(i), lambda: None) for i in range(1000)]
+    assert sim.pending_count == 1000
+    for ev in events[::2]:
+        ev.cancel()
+    assert sim.pending_count == 500
+    sim.run()
+    assert sim.events_fired == 500
+    assert sim.pending_count == 0
+
+
+def test_heap_compacts_when_cancelled_entries_dominate():
+    from repro.simkit.engine import COMPACTION_MIN_CANCELLED
+
+    sim = Simulator()
+    n = 2 * COMPACTION_MIN_CANCELLED
+    events = [sim.schedule_at(float(i), lambda: None) for i in range(n)]
+    for ev in events:
+        ev.cancel()
+    # every entry was cancelled; compaction must have emptied the heap
+    # without waiting for the run loop to pop the garbage
+    assert sim.pending_count == 0
+    assert len(sim._heap) < COMPACTION_MIN_CANCELLED
+    sim.run()
+    assert sim.events_fired == 0
+
+
+def test_cancel_after_drain_does_not_corrupt_counter():
+    sim = Simulator()
+    keep = sim.schedule_at(1.0, lambda: None)
+    sim.drain()
+    # the drained event is already CANCELLED; a late cancel() is a no-op
+    assert keep.cancel() is False
+    fresh = [sim.schedule_at(float(i), lambda: None) for i in range(4)]
+    assert sim.pending_count == 4
+    fresh[0].cancel()
+    assert sim.pending_count == 3
+    sim.run()
+    assert sim.events_fired == 3

@@ -112,3 +112,34 @@ def test_timeout_pending_state():
     assert t.pending
     sim.run()
     assert not t.pending
+
+
+def test_jitter_without_rng_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError, match="requires an explicit rng"):
+        PeriodicTask(sim, 10.0, lambda: None, jitter=1.0)
+
+
+def test_jittered_tasks_with_distinct_rngs_desynchronize():
+    sim = Simulator()
+    times = {"a": [], "b": []}
+    PeriodicTask(
+        sim, 10.0, lambda: times["a"].append(sim.now),
+        jitter=5.0, rng=random.Random(1),
+    )
+    PeriodicTask(
+        sim, 10.0, lambda: times["b"].append(sim.now),
+        jitter=5.0, rng=random.Random(2),
+    )
+    sim.run(until=100.0)
+    # independent rngs: the two schedules must not be in lockstep
+    assert times["a"] != times["b"]
+
+
+def test_priority_orders_same_time_periodic_tasks():
+    sim = Simulator()
+    order = []
+    PeriodicTask(sim, 10.0, lambda: order.append("roll"), priority=-1)
+    PeriodicTask(sim, 10.0, lambda: order.append("app"))
+    sim.run(until=10.0)
+    assert order == ["roll", "app"]
