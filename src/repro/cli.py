@@ -5,7 +5,7 @@ Installed as ``repro-experiments``::
     repro-experiments list
     repro-experiments fig9 fig10 fig11          # shared sweep, run once
     repro-experiments fig12 --scale smoke
-    repro-experiments all --scale bench
+    repro-experiments all --scale bench --workers 4
 """
 
 from __future__ import annotations
@@ -14,6 +14,8 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.errors import ConfigError
+from repro.exec import resolve_workers
 from repro.experiments import figures
 from repro.experiments.reporting import render_table, render_timelines
 from repro.experiments.scenarios import (
@@ -26,7 +28,7 @@ from repro.experiments.scenarios import (
 _SCALES = {"bench": bench_scale, "paper": paper_scale, "smoke": smoke_scale}
 
 
-def _run_fig5(scale: Scale) -> str:
+def _run_fig5(scale: Scale, workers: Optional[int]) -> str:
     pts = figures.fig5_processed_vs_sent()
     return render_table(
         ["sent (q/min)", "processed (q/min)"],
@@ -35,7 +37,7 @@ def _run_fig5(scale: Scale) -> str:
     )
 
 
-def _run_fig6(scale: Scale) -> str:
+def _run_fig6(scale: Scale, workers: Optional[int]) -> str:
     pts = figures.fig6_drop_rate_vs_density()
     return render_table(
         ["received (q/min)", "drop rate (%)"],
@@ -47,15 +49,15 @@ def _run_fig6(scale: Scale) -> str:
 _SWEEP_CACHE: Dict[str, List[figures.AgentSweepRow]] = {}
 
 
-def _agent_sweep(scale: Scale) -> List[figures.AgentSweepRow]:
+def _agent_sweep(scale: Scale, workers: Optional[int]) -> List[figures.AgentSweepRow]:
     key = scale.name
     if key not in _SWEEP_CACHE:
-        _SWEEP_CACHE[key] = figures.agent_sweep(scale, seed=7)
+        _SWEEP_CACHE[key] = figures.agent_sweep(scale, seed=7, workers=workers)
     return _SWEEP_CACHE[key]
 
 
-def _run_fig9(scale: Scale) -> str:
-    rows = figures.fig9_traffic_cost(_agent_sweep(scale))
+def _run_fig9(scale: Scale, workers: Optional[int]) -> str:
+    rows = figures.fig9_traffic_cost(_agent_sweep(scale, workers))
     return render_table(
         ["agents", "under DDoS", "with DD-POLICE", "no DDoS"],
         [[a, round(x, 1), round(y, 1), round(z, 1)] for a, x, y, z in rows],
@@ -63,8 +65,8 @@ def _run_fig9(scale: Scale) -> str:
     )
 
 
-def _run_fig10(scale: Scale) -> str:
-    rows = figures.fig10_response_time(_agent_sweep(scale))
+def _run_fig10(scale: Scale, workers: Optional[int]) -> str:
+    rows = figures.fig10_response_time(_agent_sweep(scale, workers))
     return render_table(
         ["agents", "under DDoS", "with DD-POLICE", "no DDoS"],
         [[a, round(x, 3), round(y, 3), round(z, 3)] for a, x, y, z in rows],
@@ -72,8 +74,8 @@ def _run_fig10(scale: Scale) -> str:
     )
 
 
-def _run_fig11(scale: Scale) -> str:
-    rows = figures.fig11_success_rate(_agent_sweep(scale))
+def _run_fig11(scale: Scale, workers: Optional[int]) -> str:
+    rows = figures.fig11_success_rate(_agent_sweep(scale, workers))
     return render_table(
         ["agents", "under DDoS", "with DD-POLICE", "no DDoS"],
         [[a, round(x, 1), round(y, 1), round(z, 1)] for a, x, y, z in rows],
@@ -81,8 +83,8 @@ def _run_fig11(scale: Scale) -> str:
     )
 
 
-def _run_fig12(scale: Scale) -> str:
-    timelines = figures.damage_timelines(scale, seed=11)
+def _run_fig12(scale: Scale, workers: Optional[int]) -> str:
+    timelines = figures.damage_timelines(scale, seed=11, workers=workers)
     header = ["minute"] + [t.label for t in timelines]
     rows = []
     for i, minute in enumerate(timelines[0].minutes):
@@ -97,8 +99,10 @@ def _run_fig12(scale: Scale) -> str:
     return table + "\n\n" + sparks
 
 
-def _run_fig13(scale: Scale) -> str:
-    rows = figures.fig13_errors(figures.cut_threshold_sweep(scale, seed=13))
+def _run_fig13(scale: Scale, workers: Optional[int]) -> str:
+    rows = figures.fig13_errors(
+        figures.cut_threshold_sweep(scale, seed=13, workers=workers)
+    )
     return render_table(
         ["CT", "false judgment", "false positive", "false negative"],
         rows,
@@ -106,10 +110,12 @@ def _run_fig13(scale: Scale) -> str:
     )
 
 
-def _run_fig14(scale: Scale) -> str:
+def _run_fig14(scale: Scale, workers: Optional[int]) -> str:
     import math
 
-    rows = figures.fig14_recovery(figures.cut_threshold_sweep(scale, seed=13))
+    rows = figures.fig14_recovery(
+        figures.cut_threshold_sweep(scale, seed=13, workers=workers)
+    )
     return render_table(
         ["CT", "recovery (min)"],
         [[ct, ("n/a" if math.isnan(v) else round(v, 1))] for ct, v in rows],
@@ -117,7 +123,7 @@ def _run_fig14(scale: Scale) -> str:
     )
 
 
-def _run_exchange(scale: Scale) -> str:
+def _run_exchange(scale: Scale, workers: Optional[int]) -> str:
     rows = figures.exchange_frequency_study(scale, seed=17)
     return render_table(
         ["policy", "false judgment", "overhead (k/min)", "damage (%)"],
@@ -130,7 +136,7 @@ def _run_exchange(scale: Scale) -> str:
     )
 
 
-EXPERIMENTS: Dict[str, Callable[[Scale], str]] = {
+EXPERIMENTS: Dict[str, Callable[[Scale, Optional[int]], str]] = {
     "fig5": _run_fig5,
     "fig6": _run_fig6,
     "fig9": _run_fig9,
@@ -160,6 +166,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="bench",
         help="network scale (default: bench = 2,000 peers)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the parallel executor (default: "
+        "$REPRO_WORKERS or 1 = serial; 0 = one per CPU); results are "
+        "bit-identical for any value",
+    )
     return parser
 
 
@@ -179,8 +194,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"available: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
         return 2
     scale = _SCALES[args.scale]()
+    try:
+        workers = resolve_workers(args.workers)
+    except ConfigError as exc:
+        print(f"bad --workers value: {exc}", file=sys.stderr)
+        return 2
     for name in wanted:
-        print(EXPERIMENTS[name](scale))
+        print(EXPERIMENTS[name](scale, workers))
         print()
     return 0
 

@@ -27,3 +27,26 @@ class WireFormatError(ProtocolError, ValueError):
 
 class TopologyError(ReproError, ValueError):
     """Infeasible or inconsistent topology request."""
+
+
+class MetricsError(ReproError, ValueError):
+    """A metrics query selected an empty or undefined sample.
+
+    Raised instead of ``ZeroDivisionError``/silent ``nan`` when an
+    aggregation window contains no rows (e.g. ``mean_over(first_minute)``
+    with ``first_minute`` past the end of the run).
+    """
+
+
+class ExecError(ReproError, RuntimeError):
+    """Failure inside the parallel experiment executor (:mod:`repro.exec`)."""
+
+
+class WorkerCrashError(ExecError):
+    """A worker process died without returning a result (segfault, OOM
+    kill, interpreter abort). The pool is torn down and the error names
+    the first task of the chunk that was lost."""
+
+
+class TaskTimeoutError(ExecError):
+    """A dispatched task chunk exceeded the executor's ``timeout_s``."""

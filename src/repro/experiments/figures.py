@@ -3,6 +3,13 @@
 Each ``figN_*`` function regenerates the data behind one figure of the
 paper's evaluation and returns structured rows; the benchmarks print them
 as tables. See DESIGN.md section 2 for the full index.
+
+The multi-run sweeps (``agent_sweep``, ``damage_timelines``,
+``cut_threshold_sweep``) express their runs as pure tasks over
+:func:`repro.exec.pmap`; pass ``workers`` (or set ``REPRO_WORKERS``) to
+fan them out with bit-identical results. Multi-trial seeds use
+:func:`repro.experiments.sweeps.trial_seed` (see docs/PERF.md for the
+derivation contract).
 """
 
 from __future__ import annotations
@@ -11,10 +18,13 @@ from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.config import DDPoliceConfig
-from repro.errors import ConfigError
+from repro.errors import MetricsError
+from repro.exec import pmap
 from repro.fluid.model import FluidConfig, FluidSimulation, MinuteRow
 from repro.experiments.scenarios import Scale, bench_scale
+from repro.experiments.sweeps import trial_seed
 from repro.metrics.damage import damage_rate, damage_recovery_time
+from repro.metrics.errors import ErrorCounts
 from repro.metrics.series import TimeSeries
 from repro.testbed.pipeline import run_rate_sweep
 
@@ -61,10 +71,18 @@ def _base_config(scale: Scale, seed: int) -> FluidConfig:
 def _steady_means(
     rows: Sequence[MinuteRow], first_minute: int
 ) -> Tuple[float, float, float]:
-    """(traffic k-msgs/min, response s, success) averaged from a minute on."""
+    """(traffic k-msgs/min, response s, success) averaged from a minute on.
+
+    Raises :class:`~repro.errors.MetricsError` when no row lies at or
+    after ``first_minute`` (the steady-state window is empty).
+    """
     sel = [r for r in rows if r.minute >= first_minute]
     if not sel:
-        raise ConfigError("no steady-state rows")
+        last = rows[-1].minute if rows else None
+        raise MetricsError(
+            f"no steady-state rows at minute >= {first_minute} "
+            f"(last simulated minute: {last})"
+        )
     k = len(sel)
     return (
         sum(r.traffic_cost_kqpm for r in sel) / k,
@@ -73,17 +91,40 @@ def _steady_means(
     )
 
 
+def _steady_case_task(
+    task: Tuple[FluidConfig, int, int],
+) -> Tuple[float, float, float]:
+    """One agent-sweep run (pure): ``(cfg, minutes, settle)`` -> means."""
+    cfg, minutes, settle = task
+    sim = FluidSimulation(cfg)
+    sim.run(minutes)
+    return _steady_means(sim.rows, settle)
+
+
+def _success_rows_task(
+    task: Tuple[FluidConfig, int],
+) -> Tuple[List[Tuple[int, float]], ErrorCounts]:
+    """One timeline run (pure): per-minute success rates + error counts."""
+    cfg, minutes = task
+    sim = FluidSimulation(cfg)
+    sim.run(minutes)
+    return [(r.minute, r.success_rate) for r in sim.rows], sim.error_counts()
+
+
 def agent_sweep(
     scale: Optional[Scale] = None,
     *,
     seed: int = 7,
     agent_counts: Optional[Sequence[int]] = None,
     police: Optional[DDPoliceConfig] = None,
+    workers: Optional[int] = None,
 ) -> List[AgentSweepRow]:
     """Shared sweep behind Figures 9, 10, and 11.
 
     For each agent count, three runs: no attack, attack without
-    DD-POLICE, attack with DD-POLICE (CT=5, 2-minute exchange).
+    DD-POLICE, attack with DD-POLICE (CT=5, 2-minute exchange). The
+    baseline plus the 2 x len(agent_counts) attack/defense runs execute
+    through :func:`repro.exec.pmap`.
     """
     scale = scale or bench_scale()
     agent_counts = list(agent_counts or scale.agent_counts())
@@ -91,24 +132,21 @@ def agent_sweep(
     base = _base_config(scale, seed)
     settle = scale.attack_start_min + 4  # measure after detection settles
 
-    baseline = FluidSimulation(base)
-    baseline.run(scale.sim_minutes)
-    t0, r0, s0 = _steady_means(baseline.rows, settle)
-
-    rows: List[AgentSweepRow] = []
+    tasks: List[Tuple[FluidConfig, int, int]] = [(base, scale.sim_minutes, settle)]
     for k in agent_counts:
         attack_cfg = replace(
             base, num_agents=k, attack_start_min=scale.attack_start_min
         )
-        attacked = FluidSimulation(attack_cfg)
-        attacked.run(scale.sim_minutes)
-        t1, r1, s1 = _steady_means(attacked.rows, settle)
-
         defended_cfg = replace(attack_cfg, defense="ddpolice", police=police)
-        defended = FluidSimulation(defended_cfg)
-        defended.run(scale.sim_minutes)
-        t2, r2, s2 = _steady_means(defended.rows, settle)
+        tasks.append((attack_cfg, scale.sim_minutes, settle))
+        tasks.append((defended_cfg, scale.sim_minutes, settle))
+    means = pmap(_steady_case_task, tasks, workers=workers)
 
+    t0, r0, s0 = means[0]
+    rows: List[AgentSweepRow] = []
+    for i, k in enumerate(agent_counts):
+        t1, r1, s1 = means[1 + 2 * i]
+        t2, r2, s2 = means[2 + 2 * i]
         rows.append(
             AgentSweepRow(
                 agents=k,
@@ -186,56 +224,72 @@ def damage_timelines(
     minutes: Optional[int] = None,
     seed: int = 11,
     trials: int = 1,
+    workers: Optional[int] = None,
 ) -> List[DamageTimeline]:
     """Figure 12: no-defense + DD-POLICE-CT damage trajectories.
 
     The paper uses 100 agents in the 20,000-peer system (0.5%); the
     default agent count realizes the same density at the active scale.
     With ``trials > 1`` the per-minute damage is averaged over
-    independent seeds (single runs sawtooth with attacker rejoins).
+    independent seeds (single runs sawtooth with attacker rejoins); trial
+    ``t`` runs with ``trial_seed(seed, t)``. All (trials x variants) runs
+    dispatch through one :func:`repro.exec.pmap` call.
     """
     scale = scale or bench_scale()
     minutes = minutes or max(scale.sim_minutes, scale.attack_start_min + 20)
     agents = agents if agents is not None else max(1, round(0.005 * scale.n_peers))
 
-    def one_trial(trial_seed: int) -> List[DamageTimeline]:
-        base = _base_config(scale, trial_seed)
-        baseline = FluidSimulation(base)
-        baseline.run(minutes)
-        base_success = {r.minute: r.success_rate for r in baseline.rows}
+    n_trials = max(1, trials)
+    cases_per_trial = 2 + len(cut_thresholds)  # baseline, no-defense, CTs
+    tasks: List[Tuple[FluidConfig, int]] = []
+    for t in range(n_trials):
+        base = _base_config(scale, trial_seed(seed, t))
+        attack_cfg = replace(
+            base, num_agents=agents, attack_start_min=scale.attack_start_min
+        )
+        tasks.append((base, minutes))
+        tasks.append((attack_cfg, minutes))
+        for ct in cut_thresholds:
+            tasks.append(
+                (
+                    replace(
+                        attack_cfg,
+                        defense="ddpolice",
+                        police=DDPoliceConfig().with_cut_threshold(ct),
+                    ),
+                    minutes,
+                )
+            )
+    results = pmap(_success_rows_task, tasks, workers=workers)
 
-        def timeline(label: str, cfg: FluidConfig, ct: Optional[float]) -> DamageTimeline:
-            sim = FluidSimulation(cfg)
-            sim.run(minutes)
+    def one_trial(t: int) -> List[DamageTimeline]:
+        chunk = results[t * cases_per_trial:(t + 1) * cases_per_trial]
+        base_success = dict(chunk[0][0])
+
+        def timeline(
+            label: str, rows: List[Tuple[int, float]], ct: Optional[float]
+        ) -> DamageTimeline:
             mins, dmg = [], []
-            for r in sim.rows:
-                s0 = base_success.get(r.minute)
+            for minute, success in rows:
+                s0 = base_success.get(minute)
                 if s0 is None:
                     continue
-                mins.append(r.minute)
-                if r.minute < scale.attack_start_min:
+                mins.append(minute)
+                if minute < scale.attack_start_min:
                     # before the attack the runs differ only by seed noise
                     dmg.append(0.0)
                 else:
-                    dmg.append(damage_rate(s0, min(r.success_rate, s0)))
+                    dmg.append(damage_rate(s0, min(success, s0)))
             return DamageTimeline(
                 label=label, cut_threshold=ct, minutes=mins, damage_pct=dmg
             )
 
-        attack_cfg = replace(
-            base, num_agents=agents, attack_start_min=scale.attack_start_min
-        )
-        out = [timeline("no DD-POLICE", attack_cfg, None)]
-        for ct in cut_thresholds:
-            cfg = replace(
-                attack_cfg,
-                defense="ddpolice",
-                police=DDPoliceConfig().with_cut_threshold(ct),
-            )
-            out.append(timeline(f"DD-POLICE-{ct:g}", cfg, ct))
+        out = [timeline("no DD-POLICE", chunk[1][0], None)]
+        for i, ct in enumerate(cut_thresholds):
+            out.append(timeline(f"DD-POLICE-{ct:g}", chunk[2 + i][0], ct))
         return out
 
-    runs = [one_trial(seed + 1000 * t) for t in range(max(1, trials))]
+    runs = [one_trial(t) for t in range(n_trials)]
     if len(runs) == 1:
         return runs[0]
     merged: List[DamageTimeline] = []
@@ -280,48 +334,59 @@ def cut_threshold_sweep(
     minutes: Optional[int] = None,
     seed: int = 13,
     trials: int = 1,
+    workers: Optional[int] = None,
 ) -> List[CutThresholdRow]:
     """Shared sweep behind Figures 13 and 14.
 
     With ``trials > 1`` error counts are summed and damage/recovery
     averaged over independent seeds -- the false-positive counts are
     small (a handful of slow-link agents per run), so single runs are
-    0/1-noisy.
+    0/1-noisy. Trial ``t`` runs with ``trial_seed(seed, t)``; all
+    (trials x (1 + len(cut_thresholds))) runs dispatch through one
+    :func:`repro.exec.pmap` call.
     """
     scale = scale or bench_scale()
     minutes = minutes or max(scale.sim_minutes, scale.attack_start_min + 20)
     agents = agents if agents is not None else max(1, round(0.005 * scale.n_peers))
 
+    n_trials = max(1, trials)
+    cases_per_trial = 1 + len(cut_thresholds)
+    tasks: List[Tuple[FluidConfig, int]] = []
+    for trial in range(n_trials):
+        base = _base_config(scale, trial_seed(seed, trial))
+        tasks.append((base, minutes))
+        for ct in cut_thresholds:
+            tasks.append(
+                (
+                    replace(
+                        base,
+                        num_agents=agents,
+                        attack_start_min=scale.attack_start_min,
+                        defense="ddpolice",
+                        police=DDPoliceConfig().with_cut_threshold(ct),
+                    ),
+                    minutes,
+                )
+            )
+    results = pmap(_success_rows_task, tasks, workers=workers)
+
     per_trial: List[List[CutThresholdRow]] = []
-    for trial in range(max(1, trials)):
-        base = _base_config(scale, seed + 1000 * trial)
-        baseline = FluidSimulation(base)
-        baseline.run(minutes)
-        base_success = {r.minute: r.success_rate for r in baseline.rows}
+    for trial in range(n_trials):
+        chunk = results[trial * cases_per_trial:(trial + 1) * cases_per_trial]
+        base_success = dict(chunk[0][0])
 
         rows: List[CutThresholdRow] = []
-        for ct in cut_thresholds:
-            cfg = replace(
-                base,
-                num_agents=agents,
-                attack_start_min=scale.attack_start_min,
-                defense="ddpolice",
-                police=DDPoliceConfig().with_cut_threshold(ct),
-            )
-            sim = FluidSimulation(cfg)
-            sim.run(minutes)
+        for i, ct in enumerate(cut_thresholds):
+            run_rows, errors = chunk[1 + i]
             damage = TimeSeries()
-            for r in sim.rows:
-                s0 = base_success.get(r.minute)
+            for minute, success in run_rows:
+                s0 = base_success.get(minute)
                 if s0 is None:
                     continue
-                if r.minute < scale.attack_start_min:
-                    damage.append(float(r.minute), 0.0)
+                if minute < scale.attack_start_min:
+                    damage.append(float(minute), 0.0)
                 else:
-                    damage.append(
-                        float(r.minute), damage_rate(s0, min(r.success_rate, s0))
-                    )
-            errors = sim.error_counts()
+                    damage.append(float(minute), damage_rate(s0, min(success, s0)))
             tail = damage.window(minutes - 5, minutes + 1)
             rows.append(
                 CutThresholdRow(

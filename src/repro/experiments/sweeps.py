@@ -4,6 +4,16 @@ The figure functions in :mod:`repro.experiments.figures` are specialized;
 this module provides the general tool a downstream user wants: sweep any
 :class:`FluidConfig` field(s) over a grid, run ``trials`` independent
 seeds per point, and aggregate any row metric.
+
+Every sweep is a flat list of *pure* (config -> metrics) tasks executed
+through :func:`repro.exec.pmap`, so ``workers > 1`` (or
+``REPRO_WORKERS``) fans the grid out over a process pool with results
+bit-identical to the serial run. Per-trial seeds come from
+:func:`repro.simkit.rng.derive_seed` -- ``derive_seed(seed0, "trial",
+t)`` -- which, unlike the old ``seed0 + 1000 * trial`` convention,
+cannot alias trials across base seeds that differ by multiples of 1000.
+With ``workers > 1`` metric extractors must be picklable: module-level
+functions or the :class:`RowMean` helpers, not lambdas.
 """
 
 from __future__ import annotations
@@ -13,7 +23,39 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
+from repro.exec import pmap
 from repro.fluid.model import FluidConfig, FluidSimulation
+from repro.simkit.rng import derive_seed
+
+
+def trial_seed(seed0: int, trial: int) -> int:
+    """Seed of independent trial ``trial`` under base seed ``seed0``."""
+    return derive_seed(seed0, "trial", trial)
+
+
+@dataclass(frozen=True)
+class RowMean:
+    """Picklable metric extractor: ``sim.mean_over(first_minute, attr)``.
+
+    The lambda-based equivalents cannot cross a process boundary; this
+    frozen dataclass can, so sweeps built from it parallelize.
+    """
+
+    first_minute: int
+    attr: str
+
+    def __call__(self, sim: FluidSimulation) -> float:
+        return sim.mean_over(self.first_minute, self.attr)
+
+
+def _metrics_task(
+    task: Tuple[FluidConfig, int, Mapping[str, Callable[[FluidSimulation], float]]],
+) -> Dict[str, float]:
+    """One sweep trial: run the config, apply every extractor (pure)."""
+    cfg, minutes, metrics = task
+    sim = FluidSimulation(cfg)
+    sim.run(minutes)
+    return {name: float(extractor(sim)) for name, extractor in metrics.items()}
 
 
 @dataclass(frozen=True)
@@ -38,6 +80,37 @@ def _aggregate(values: Sequence[float]) -> Tuple[float, float]:
     return mean, math.sqrt(var)
 
 
+def _point_from_samples(
+    overrides: Mapping[str, Any],
+    metrics: Mapping[str, Callable[[FluidSimulation], float]],
+    sample_dicts: Sequence[Mapping[str, float]],
+) -> SweepPoint:
+    samples: Dict[str, List[float]] = {
+        name: [d[name] for d in sample_dicts] for name in metrics
+    }
+    agg = {name: _aggregate(vals) for name, vals in samples.items()}
+    return SweepPoint(
+        overrides=dict(overrides),
+        metrics={name: a[0] for name, a in agg.items()},
+        stddevs={name: a[1] for name, a in agg.items()},
+        trials=len(sample_dicts),
+    )
+
+
+def _trial_tasks(
+    base: FluidConfig,
+    overrides: Mapping[str, Any],
+    minutes: int,
+    metrics: Mapping[str, Callable[[FluidSimulation], float]],
+    trials: int,
+    seed0: int,
+) -> List[Tuple[FluidConfig, int, Mapping[str, Callable[[FluidSimulation], float]]]]:
+    return [
+        (replace(base, seed=trial_seed(seed0, trial), **dict(overrides)), minutes, metrics)
+        for trial in range(trials)
+    ]
+
+
 def run_point(
     base: FluidConfig,
     overrides: Mapping[str, Any],
@@ -46,30 +119,23 @@ def run_point(
     metrics: Mapping[str, Callable[[FluidSimulation], float]],
     trials: int = 1,
     seed0: int = 0,
+    workers: Optional[int] = None,
 ) -> SweepPoint:
     """Run one configuration ``trials`` times and aggregate metrics.
 
     ``metrics`` maps a name to an extractor over the finished simulation
-    (e.g. ``lambda sim: sim.mean_over(10, "success_rate")``).
+    (e.g. ``RowMean(10, "success_rate")``; lambdas work too but only
+    serially). Trial ``t`` runs with seed ``derive_seed(seed0, "trial",
+    t)``; trials execute through :func:`repro.exec.pmap` with the given
+    ``workers`` (default: serial / ``$REPRO_WORKERS``).
     """
     if trials < 1:
         raise ConfigError("trials must be >= 1")
     if not metrics:
         raise ConfigError("at least one metric extractor required")
-    samples: Dict[str, List[float]] = {name: [] for name in metrics}
-    for trial in range(trials):
-        cfg = replace(base, seed=seed0 + 1000 * trial, **dict(overrides))
-        sim = FluidSimulation(cfg)
-        sim.run(minutes)
-        for name, extractor in metrics.items():
-            samples[name].append(float(extractor(sim)))
-    agg = {name: _aggregate(vals) for name, vals in samples.items()}
-    return SweepPoint(
-        overrides=dict(overrides),
-        metrics={name: a[0] for name, a in agg.items()},
-        stddevs={name: a[1] for name, a in agg.items()},
-        trials=trials,
-    )
+    tasks = _trial_tasks(base, overrides, minutes, metrics, trials, seed0)
+    sample_dicts = pmap(_metrics_task, tasks, workers=workers)
+    return _point_from_samples(overrides, metrics, sample_dicts)
 
 
 def sweep(
@@ -80,8 +146,13 @@ def sweep(
     metrics: Mapping[str, Callable[[FluidSimulation], float]],
     trials: int = 1,
     seed0: int = 0,
+    workers: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Full-factorial sweep over ``grid`` (cartesian product of values).
+
+    The whole (combos x trials) task list is dispatched through one
+    :func:`repro.exec.pmap` call, so parallelism is available across the
+    entire grid, not just within one point's trials.
 
     >>> from repro.fluid.model import FluidConfig
     >>> pts = sweep(
@@ -95,6 +166,10 @@ def sweep(
     """
     if not grid:
         raise ConfigError("empty sweep grid")
+    if trials < 1:
+        raise ConfigError("trials must be >= 1")
+    if not metrics:
+        raise ConfigError("at least one metric extractor required")
     names = sorted(grid)
     for name in names:
         if not grid[name]:
@@ -111,24 +186,29 @@ def sweep(
 
     combos: List[Dict[str, Any]] = []
     product(0, {}, combos)
+    tasks = []
+    for combo in combos:
+        tasks.extend(_trial_tasks(base, combo, minutes, metrics, trials, seed0))
+    sample_dicts = pmap(_metrics_task, tasks, workers=workers)
     return [
-        run_point(
-            base, combo, minutes=minutes, metrics=metrics, trials=trials, seed0=seed0
+        _point_from_samples(
+            combo, metrics, sample_dicts[i * trials:(i + 1) * trials]
         )
-        for combo in combos
+        for i, combo in enumerate(combos)
     ]
 
 
-# Common extractors -----------------------------------------------------
+# Common extractors (all picklable, so sweeps built from them can run
+# on worker processes) --------------------------------------------------
 
 def steady_success(first_minute: int) -> Callable[[FluidSimulation], float]:
     """Mean success rate from ``first_minute`` on."""
-    return lambda sim: sim.mean_over(first_minute, "success_rate")
+    return RowMean(first_minute, "success_rate")
 
 
 def steady_traffic_k(first_minute: int) -> Callable[[FluidSimulation], float]:
     """Mean traffic (thousands of messages/min) from ``first_minute`` on."""
-    return lambda sim: sim.mean_over(first_minute, "traffic_cost_kqpm")
+    return RowMean(first_minute, "traffic_cost_kqpm")
 
 
 def final_false_negative(sim: FluidSimulation) -> float:
@@ -223,11 +303,20 @@ def _fault_des_config(
     )
 
 
+def _des_case_task(cfg: Any) -> Tuple[Any, Any]:
+    """One DES run (pure): returns (error counts, success series)."""
+    from repro.experiments.runner import run_des_experiment
+
+    run = run_des_experiment(cfg)
+    return run.error_counts(), run.collector.success_series()
+
+
 def fault_sweep(
     spec: "FaultSweepSpec",
     *,
     seed0: int = 0,
     profiles: Sequence[str] = FAULT_PROFILES,
+    workers: Optional[int] = None,
 ) -> List[FaultPoint]:
     """Sweep control-plane loss x fail-stop crashes, per evidence profile.
 
@@ -237,9 +326,12 @@ def fault_sweep(
     (:meth:`DDPoliceConfig.with_hardening`). Both see the exact same
     fault schedule per (grid point, trial): fault draws come from
     dedicated RNG streams, so the profile never perturbs the faults.
+
+    Every run on the grid -- clean baselines and attacked runs alike --
+    is an independent task over its own :class:`DESConfig`, so the whole
+    sweep fans out through :func:`repro.exec.pmap`.
     """
     from repro.core.config import DDPoliceConfig
-    from repro.experiments.runner import run_des_experiment
     from repro.metrics.damage import damage_rate_series, damage_recovery_time
 
     base_police = DDPoliceConfig(exchange_period_s=30.0)
@@ -254,21 +346,45 @@ def fault_sweep(
     # One clean-run baseline per (loss, crashes, trial), shared by the
     # profiles: with no attackers there are no investigations, so the
     # evidence profile cannot matter there.
-    baselines: Dict[Tuple[float, int, int], Any] = {}
+    baseline_keys: List[Tuple[float, int, int]] = []
+    run_keys: List[Tuple[float, int, str, int]] = []
+    tasks: List[Any] = []
+    for loss in spec.loss_fractions:
+        for crashes in spec.crash_counts:
+            for trial in range(spec.trials):
+                baseline_keys.append((loss, crashes, trial))
+                tasks.append(
+                    _fault_des_config(
+                        spec,
+                        loss=loss,
+                        crashes=crashes,
+                        seed=trial_seed(seed0, trial),
+                        num_agents=0,
+                        police=base_police,
+                    )
+                )
+    for loss in spec.loss_fractions:
+        for crashes in spec.crash_counts:
+            for profile in profiles:
+                for trial in range(spec.trials):
+                    run_keys.append((loss, crashes, profile, trial))
+                    tasks.append(
+                        _fault_des_config(
+                            spec,
+                            loss=loss,
+                            crashes=crashes,
+                            seed=trial_seed(seed0, trial),
+                            num_agents=spec.num_agents,
+                            police=police_by_profile[profile],
+                        )
+                    )
 
-    def baseline_series(loss: float, crashes: int, trial: int):
-        key = (loss, crashes, trial)
-        if key not in baselines:
-            cfg = _fault_des_config(
-                spec,
-                loss=loss,
-                crashes=crashes,
-                seed=seed0 + 1000 * trial,
-                num_agents=0,
-                police=base_police,
-            )
-            baselines[key] = run_des_experiment(cfg).collector.success_series()
-        return baselines[key]
+    results = pmap(_des_case_task, tasks, workers=workers)
+    baseline_series = {
+        key: series
+        for key, (_, series) in zip(baseline_keys, results[: len(baseline_keys)])
+    }
+    run_results = dict(zip(run_keys, results[len(baseline_keys):]))
 
     points: List[FaultPoint] = []
     for loss in spec.loss_fractions:
@@ -278,21 +394,11 @@ def fault_sweep(
                 fps: List[float] = []
                 recoveries: List[float] = []
                 for trial in range(spec.trials):
-                    cfg = _fault_des_config(
-                        spec,
-                        loss=loss,
-                        crashes=crashes,
-                        seed=seed0 + 1000 * trial,
-                        num_agents=spec.num_agents,
-                        police=police_by_profile[profile],
-                    )
-                    run = run_des_experiment(cfg)
-                    errors = run.error_counts()
+                    errors, series = run_results[(loss, crashes, profile, trial)]
                     fns.append(float(errors.false_negative))
                     fps.append(float(errors.false_positive))
                     damage = damage_rate_series(
-                        baseline_series(loss, crashes, trial),
-                        run.collector.success_series(),
+                        baseline_series[(loss, crashes, trial)], series
                     )
                     rec = damage_recovery_time(damage)
                     if rec is not None:

@@ -20,6 +20,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.fluid.flows import build_edge_arrays, edge_slice_index
 
 
 @dataclass(frozen=True)
@@ -92,6 +93,13 @@ class GraphState:
         self.minute = 0
         self.joins = 0
         self.leaves = 0
+        #: Monotone counter bumped on every edge mutation; consumers cache
+        #: derived structures (edge arrays) keyed on it.
+        self.topology_version = 0
+        self._edge_cache_version = -1
+        self._edge_cache: Optional[
+            Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = None
 
     # ------------------------------------------------------------------
     def _check_symmetry(self) -> None:
@@ -127,14 +135,37 @@ class GraphState:
             raise ConfigError("both endpoints must be online")
         self.adjacency[u].add(v)
         self.adjacency[v].add(u)
+        self.topology_version += 1
 
     def remove_edge(self, u: int, v: int) -> None:
         self.adjacency[u].discard(v)
         self.adjacency[v].discard(u)
+        self.topology_version += 1
 
     def disconnect_all(self, u: int) -> None:
         for v in list(self.adjacency[u]):
             self.remove_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # cached directed-edge view
+    # ------------------------------------------------------------------
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Directed edge arrays ``(src, dst, rev, indptr)`` over the live
+        graph, cached on :attr:`topology_version`.
+
+        Offline nodes hold no edges (leaving disconnects them), so
+        building from the full adjacency equals building from
+        :meth:`live_adjacency` -- without the per-minute dict/set copy.
+        ``indptr`` is the per-source CSR slice index
+        (:func:`repro.fluid.flows.edge_slice_index`). Callers must not
+        mutate the returned arrays.
+        """
+        if self._edge_cache is None or self._edge_cache_version != self.topology_version:
+            src, dst, rev = build_edge_arrays(self.adjacency)
+            indptr = edge_slice_index(src, self.n)
+            self._edge_cache = (src, dst, rev, indptr)
+            self._edge_cache_version = self.topology_version
+        return self._edge_cache
 
     # ------------------------------------------------------------------
     # churn step (call once per minute, before flows)

@@ -11,18 +11,30 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
+from typing import Dict, Union
 
 import numpy as np
 
+from repro.errors import ConfigError
 
-def derive_seed(master_seed: int, name: str) -> int:
-    """Derive a 63-bit child seed from (master_seed, stream name).
+
+def derive_seed(master_seed: int, *stream_labels: Union[str, int]) -> int:
+    """Derive a 63-bit child seed from ``(master_seed, *stream_labels)``.
 
     Uses SHA-256 so child streams are statistically independent and stable
-    across Python versions/platforms (unlike ``hash()``).
+    across Python versions/platforms (unlike ``hash()``). Labels may be
+    strings or integers (e.g. ``derive_seed(seed0, "trial", 3)``) and are
+    joined with ``:`` -- so ``("a", "b")`` and ``("a:b",)`` alias; pick
+    label vocabularies that keep the joined key unambiguous.
+
+    Unlike arithmetic schemes (``seed0 + 1000 * trial``), derived seeds do
+    not alias across nearby master seeds: ``derive_seed(0, "trial", 1)``
+    and ``derive_seed(1000, "trial", 0)`` are unrelated.
     """
-    payload = f"{master_seed}:{name}".encode("utf-8")
+    if not stream_labels:
+        raise ConfigError("derive_seed needs at least one stream label")
+    parts = [str(master_seed), *(str(label) for label in stream_labels)]
+    payload = ":".join(parts).encode("utf-8")
     digest = hashlib.sha256(payload).digest()
     return int.from_bytes(digest[:8], "big") & 0x7FFFFFFFFFFFFFFF
 

@@ -98,3 +98,15 @@ def test_exchange_frequency_rows():
     labels = [r.policy for r in rows]
     assert labels == ["periodic-1min", "periodic-4min", "event-driven"]
     assert all(r.control_overhead_kqpm >= 0 for r in rows)
+
+
+def test_steady_means_empty_window_raises_metrics_error():
+    from repro.errors import MetricsError
+    from repro.fluid.model import FluidConfig, FluidSimulation
+
+    sim = FluidSimulation(FluidConfig(n=60, seed=1, churn_warmup_min=1))
+    sim.run(3)
+    with pytest.raises(MetricsError, match="no steady-state rows"):
+        figures._steady_means(sim.rows, 99)
+    with pytest.raises(MetricsError, match="no steady-state rows"):
+        figures._steady_means([], 0)

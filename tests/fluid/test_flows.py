@@ -235,3 +235,73 @@ def test_fixed_point_converges():
     assert a.total_messages_per_min == pytest.approx(
         b.total_messages_per_min, rel=0.02
     )
+
+
+# ---------------------------------------------------------------------------
+# vectorized edge-array builder vs the reference implementation
+# ---------------------------------------------------------------------------
+
+def random_adjacency(n, p, seed):
+    rng = __import__("random").Random(seed)
+    adj = {u: set() for u in range(n)}
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                adj[u].add(v)
+                adj[v].add(u)
+    return adj
+
+
+def test_vectorized_builder_matches_reference():
+    from repro.fluid.flows import build_edge_arrays_reference
+
+    cases = [
+        {},  # no nodes
+        {0: set(), 1: set()},  # no edges
+        {0: {1}, 1: {0}},  # single link
+        line_adjacency(7),
+    ] + [random_adjacency(n, p, s) for n, p, s in [(13, 0.3, 1), (40, 0.1, 2), (5, 1.0, 3)]]
+    for adj in cases:
+        src_v, dst_v, rev_v = build_edge_arrays(adj)
+        src_r, dst_r, rev_r = build_edge_arrays_reference(adj)
+        assert np.array_equal(src_v, src_r)
+        assert np.array_equal(dst_v, dst_r)
+        assert np.array_equal(rev_v, rev_r)
+        assert src_v.dtype == src_r.dtype
+        assert rev_v.dtype == rev_r.dtype
+
+
+def test_vectorized_builder_rejects_self_loops_and_asymmetry():
+    from repro.fluid.flows import build_edge_arrays_reference
+
+    for builder in (build_edge_arrays, build_edge_arrays_reference):
+        with pytest.raises(ConfigError):
+            builder({0: {0}, 1: set()})
+        with pytest.raises(ConfigError, match=r"asymmetric adjacency at edge \(0, 1\)"):
+            builder({0: {1}, 1: set()})
+
+
+def test_edge_slice_index_slices_match_masks():
+    from repro.fluid.flows import edge_slice_index
+
+    adj = random_adjacency(20, 0.25, 7)
+    src, dst, rev = build_edge_arrays(adj)
+    indptr = edge_slice_index(src, 20)
+    assert indptr.shape == (21,)
+    assert indptr[0] == 0 and indptr[-1] == len(src)
+    for u in range(20):
+        lo, hi = int(indptr[u]), int(indptr[u + 1])
+        np.testing.assert_array_equal(np.arange(lo, hi), np.nonzero(src == u)[0])
+        assert hi - lo == len(adj[u])
+    # out-degrees come straight off the index
+    assert np.array_equal(np.diff(indptr), np.bincount(src, minlength=20))
+
+
+def test_edge_slice_index_requires_sorted_src():
+    from repro.fluid.flows import edge_slice_index
+
+    with pytest.raises(ConfigError):
+        edge_slice_index(np.array([1, 0], dtype=np.int64), 2)
+    # empty edge set is fine
+    empty = edge_slice_index(np.array([], dtype=np.int64), 3)
+    assert np.array_equal(empty, np.zeros(4, dtype=np.int64))

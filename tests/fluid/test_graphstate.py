@@ -2,6 +2,7 @@
 
 import random
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigError
@@ -145,3 +146,36 @@ def test_config_validation():
         FluidChurnConfig(max_degree=2)
     with pytest.raises(ConfigError):
         GraphState(1, {0: set()})
+
+
+def test_edge_arrays_cached_until_topology_changes():
+    s = GraphState(6, ring(6), churn=FluidChurnConfig(enabled=False),
+                   rng=random.Random(0))
+    first = s.edge_arrays()
+    # no mutation -> the exact same tuple comes back (cache hit)
+    assert s.edge_arrays() is first
+    version = s.topology_version
+    s.add_edge(0, 3)
+    assert s.topology_version == version + 1
+    second = s.edge_arrays()
+    assert second is not first
+    assert len(second[0]) == len(first[0]) + 2  # one undirected link = 2 arcs
+    s.remove_edge(0, 3)
+    third = s.edge_arrays()
+    assert third is not second
+    assert np.array_equal(third[0], first[0])
+    assert np.array_equal(third[1], first[1])
+
+
+def test_edge_arrays_match_live_adjacency_after_churn():
+    from repro.fluid.flows import build_edge_arrays, edge_slice_index
+
+    s = GraphState(30, ring(30), rng=random.Random(3))
+    for _ in range(5):
+        s.step_churn()
+        src, dst, rev, indptr = s.edge_arrays()
+        ref_src, ref_dst, ref_rev = build_edge_arrays(s.live_adjacency())
+        assert np.array_equal(src, ref_src)
+        assert np.array_equal(dst, ref_dst)
+        assert np.array_equal(rev, ref_rev)
+        assert np.array_equal(indptr, edge_slice_index(ref_src, s.n))

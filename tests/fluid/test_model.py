@@ -4,7 +4,7 @@ from dataclasses import replace
 
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, MetricsError
 from repro.fluid.model import FluidConfig, FluidSimulation
 
 
@@ -118,8 +118,10 @@ def test_mean_over_and_validation():
     sim = FluidSimulation(BASE)
     sim.run(4)
     assert sim.mean_over(2, "success_rate") > 0
-    with pytest.raises(ConfigError):
+    with pytest.raises(MetricsError, match="empty selection window"):
         sim.mean_over(99, "success_rate")
+    with pytest.raises(MetricsError, match="no rows"):
+        FluidSimulation(BASE).mean_over(0, "success_rate")
     with pytest.raises(ConfigError):
         sim.run(0)
 
@@ -141,3 +143,20 @@ def test_without_attack_twin():
     assert twin.num_agents == 0
     assert twin.defense == "none"
     assert twin.seed == cfg.seed
+
+
+@pytest.mark.parametrize("defense", ["none", "naive", "ddpolice"])
+def test_fast_hot_path_matches_legacy(defense):
+    """The cached/CSR/vectorized minute loop is bit-identical to the
+    pre-optimization path, row for row."""
+    from repro.fluid.model import legacy_hot_path
+
+    cfg = replace(
+        BASE, n=200, num_agents=4, attack_start_min=2, defense=defense,
+        churn_warmup_min=4,
+    )
+    fast = FluidSimulation(cfg).run(7)
+    with legacy_hot_path():
+        legacy = FluidSimulation(cfg).run(7)
+    assert fast == legacy
+    assert repr(fast) == repr(legacy)

@@ -62,3 +62,40 @@ def test_fork_derives_child_registry():
     c2 = parent.fork("trial-2")
     assert c1.master_seed != c2.master_seed
     assert c1.master_seed == RngRegistry(5).fork("trial-1").master_seed
+
+
+def test_derive_seed_varargs_labels():
+    # multi-label derivation is stable and label-order-sensitive
+    assert derive_seed(9, "trial", 3) == derive_seed(9, "trial", 3)
+    assert derive_seed(9, "trial", 3) != derive_seed(9, 3, "trial")
+    # int labels behave as their string form (documented aliasing)
+    assert derive_seed(9, "trial", 3) == derive_seed(9, "trial", "3")
+
+
+def test_derive_seed_requires_a_label():
+    import pytest
+
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        derive_seed(9)
+
+
+def test_trial_seed_scheme_has_no_cross_seed0_collisions():
+    """Regression for the retired ``seed0 + 1000 * trial`` trial seeds.
+
+    That arithmetic scheme aliases trials across base seeds differing by
+    a multiple of 1000 -- e.g. (seed0=0, trial=1) and (seed0=1000,
+    trial=0) ran the *same* simulation, so "independent" base seeds
+    shared samples. The hash-derived scheme keeps every (seed0, trial)
+    pair distinct.
+    """
+    from repro.experiments.sweeps import trial_seed
+
+    # the old scheme's canonical collisions
+    assert (0 + 1000 * 1) == (1000 + 1000 * 0)
+    assert trial_seed(0, 1) != trial_seed(1000, 0)
+    assert trial_seed(7, 2) != trial_seed(2007, 0)
+    # and no collisions across a dense grid of (seed0, trial) pairs
+    grid = {trial_seed(s, t) for s in range(0, 5000, 250) for t in range(50)}
+    assert len(grid) == 20 * 50
