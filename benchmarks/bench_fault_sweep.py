@@ -15,6 +15,7 @@ import pytest
 from benchmarks.conftest import publish
 from repro.experiments.scenarios import fault_sweep_spec
 from repro.experiments.sweeps import fault_sweep, format_fault_sweep
+from repro.obs.manifest import build_manifest
 
 SEED = 23
 
@@ -39,7 +40,14 @@ def _total_fn(points, profile, min_loss):
 
 def test_fault_sweep_table(results_dir, spec, points):
     text = format_fault_sweep(spec, points)
-    publish(results_dir, "fault_sweep", text)
+    manifest = build_manifest(
+        kind="bench-fault-sweep",
+        config=spec,
+        seed=SEED,
+        seed_derivation=["trial", "<t>"],
+        tasks=len(points),
+    )
+    publish(results_dir, "fault_sweep", text, manifest=manifest)
     assert len(points) == (
         len(spec.loss_fractions) * len(spec.crash_counts) * 2
     )

@@ -26,6 +26,7 @@ from benchmarks.conftest import publish
 from repro.experiments.reporting import render_table
 from repro.experiments.sweeps import steady_success, steady_traffic_k, sweep
 from repro.fluid.model import FluidConfig, FluidSimulation, legacy_hot_path
+from repro.obs.manifest import build_manifest
 
 SWEEP_BASE = FluidConfig(n=400, seed=5, churn_warmup_min=4, attack_start_min=2)
 SWEEP_GRID = {"num_agents": [0, 2, 4, 8]}
@@ -111,7 +112,29 @@ def test_parallel_sweep_and_hot_path(benchmark, results_dir):
         "above). Rows of the legacy and optimized fluid paths are "
         "bit-identical (asserted above)."
     )
-    publish(results_dir, "parallel", sweep_table + "\n\n" + hot_table + "\n\n" + note)
+    manifest = build_manifest(
+        kind="bench-parallel",
+        config={
+            "sweep_base": SWEEP_BASE,
+            "grid": SWEEP_GRID,
+            "trials": SWEEP_TRIALS,
+            "minutes": SWEEP_MINUTES,
+            "hot_path_cfg": HOT_PATH_CFG,
+            "hot_path_minutes": HOT_PATH_MINUTES,
+        },
+        seed=3,
+        seed_derivation=["trial", "<t>"],
+        workers=4,
+        tasks=tasks,
+        duration_s=wall_1 + wall_2 + wall_4 + fast_s + legacy_s,
+        extra={"cores": cores, "hot_speedup": round(hot_speedup, 3)},
+    )
+    publish(
+        results_dir,
+        "parallel",
+        sweep_table + "\n\n" + hot_table + "\n\n" + note,
+        manifest=manifest,
+    )
 
     if cores >= 4:
         assert wall_4 < wall_1 / 2.5, (

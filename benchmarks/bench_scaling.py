@@ -24,6 +24,7 @@ import pytest
 
 from benchmarks.conftest import publish
 from repro.experiments.reporting import render_table
+from repro.obs.manifest import build_manifest
 from repro.experiments.runner import DESConfig, run_des_experiment
 from repro.fluid.model import FluidConfig, FluidSimulation
 from repro.metrics.damage import damage_rate
@@ -119,7 +120,30 @@ def test_scaling_table(results_dir, scaling_rows, des_rows):
         scaling_rows,
         title="Section 3.6: damage vs network size at fixed agent density",
     )
-    publish(results_dir, "scaling", text + "\n" + _des_table(des_rows))
+    manifest = build_manifest(
+        kind="bench-scaling",
+        config={
+            "density": 0.005,
+            "fluid_sizes": [500, 1000, 2000, 4000],
+            "fluid_minutes": 12,
+            "des_runs": [
+                {"n": r["n"], "ttl": r["ttl"], "sim_s": r["sim_s"]}
+                for r in des_rows
+            ],
+        },
+        seed=29,
+        tasks=len(scaling_rows) + len(des_rows),
+        duration_s=sum(r["wall_s"] for r in des_rows),
+        counters={
+            f"des.events_n{r['n']}": r["events"] for r in des_rows
+        },
+    )
+    publish(
+        results_dir,
+        "scaling",
+        text + "\n" + _des_table(des_rows),
+        manifest=manifest,
+    )
 
 
 def test_des_paper_scale_smoke(des_rows):

@@ -11,8 +11,11 @@ Scale is controlled by ``REPRO_SCALE`` (bench | paper | smoke).
 
 import os
 from pathlib import Path
+from typing import Any, Mapping, Optional
 
 import pytest
+
+from repro.obs.manifest import atomic_write_text, write_manifest
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -34,8 +37,22 @@ def scale():
     return active_scale()
 
 
-def publish(results_dir: Path, name: str, text: str) -> None:
-    """Print a result table and persist it for EXPERIMENTS.md."""
+def publish(
+    results_dir: Path,
+    name: str,
+    text: str,
+    manifest: Optional[Mapping[str, Any]] = None,
+) -> None:
+    """Print a result table and persist it for EXPERIMENTS.md.
+
+    Writes are atomic (temp file + rename), so an interrupted bench run
+    never leaves a truncated table. With ``manifest`` given (build it via
+    :func:`repro.obs.manifest.build_manifest`), a ``<name>.manifest.json``
+    provenance sidecar is written next to the table.
+    """
     print()
     print(text)
-    (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    artifact = results_dir / f"{name}.txt"
+    atomic_write_text(artifact, text + "\n")
+    if manifest is not None:
+        write_manifest(artifact, manifest)

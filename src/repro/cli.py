@@ -6,13 +6,17 @@ Installed as ``repro-experiments``::
     repro-experiments fig9 fig10 fig11          # shared sweep, run once
     repro-experiments fig12 --scale smoke
     repro-experiments all --scale bench --workers 4
+    repro-experiments fig12 --scale smoke --trace /tmp/run.jsonl --profile
+    repro-experiments trace summarize /tmp/run.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.exec import resolve_workers
@@ -24,11 +28,20 @@ from repro.experiments.scenarios import (
     paper_scale,
     smoke_scale,
 )
+from repro.obs.config import ObsConfig
+from repro.obs.manifest import build_manifest, write_manifest
+from repro.obs.profile import Profiler
+from repro.obs.trace import summarize_trace
 
 _SCALES = {"bench": bench_scale, "paper": paper_scale, "smoke": smoke_scale}
 
+#: Experiment runner signature: (scale, workers, obs) -> rendered text.
+Runner = Callable[[Scale, Optional[int], Optional[ObsConfig]], str]
 
-def _run_fig5(scale: Scale, workers: Optional[int]) -> str:
+
+def _run_fig5(
+    scale: Scale, workers: Optional[int], obs: Optional[ObsConfig]
+) -> str:
     pts = figures.fig5_processed_vs_sent()
     return render_table(
         ["sent (q/min)", "processed (q/min)"],
@@ -37,7 +50,9 @@ def _run_fig5(scale: Scale, workers: Optional[int]) -> str:
     )
 
 
-def _run_fig6(scale: Scale, workers: Optional[int]) -> str:
+def _run_fig6(
+    scale: Scale, workers: Optional[int], obs: Optional[ObsConfig]
+) -> str:
     pts = figures.fig6_drop_rate_vs_density()
     return render_table(
         ["received (q/min)", "drop rate (%)"],
@@ -46,18 +61,29 @@ def _run_fig6(scale: Scale, workers: Optional[int]) -> str:
     )
 
 
-_SWEEP_CACHE: Dict[str, List[figures.AgentSweepRow]] = {}
+#: fig9/10/11 share one sweep; cache it per (scale, obs) so asking for all
+#: three runs the simulations once. Obs is part of the key: a traced sweep
+#: must not satisfy an untraced request (or vice versa).
+_SWEEP_CACHE: Dict[
+    Tuple[str, Optional[ObsConfig]], List[figures.AgentSweepRow]
+] = {}
 
 
-def _agent_sweep(scale: Scale, workers: Optional[int]) -> List[figures.AgentSweepRow]:
-    key = scale.name
+def _agent_sweep(
+    scale: Scale, workers: Optional[int], obs: Optional[ObsConfig]
+) -> List[figures.AgentSweepRow]:
+    key = (scale.name, obs)
     if key not in _SWEEP_CACHE:
-        _SWEEP_CACHE[key] = figures.agent_sweep(scale, seed=7, workers=workers)
+        _SWEEP_CACHE[key] = figures.agent_sweep(
+            scale, seed=7, workers=workers, obs=obs
+        )
     return _SWEEP_CACHE[key]
 
 
-def _run_fig9(scale: Scale, workers: Optional[int]) -> str:
-    rows = figures.fig9_traffic_cost(_agent_sweep(scale, workers))
+def _run_fig9(
+    scale: Scale, workers: Optional[int], obs: Optional[ObsConfig]
+) -> str:
+    rows = figures.fig9_traffic_cost(_agent_sweep(scale, workers, obs))
     return render_table(
         ["agents", "under DDoS", "with DD-POLICE", "no DDoS"],
         [[a, round(x, 1), round(y, 1), round(z, 1)] for a, x, y, z in rows],
@@ -65,8 +91,10 @@ def _run_fig9(scale: Scale, workers: Optional[int]) -> str:
     )
 
 
-def _run_fig10(scale: Scale, workers: Optional[int]) -> str:
-    rows = figures.fig10_response_time(_agent_sweep(scale, workers))
+def _run_fig10(
+    scale: Scale, workers: Optional[int], obs: Optional[ObsConfig]
+) -> str:
+    rows = figures.fig10_response_time(_agent_sweep(scale, workers, obs))
     return render_table(
         ["agents", "under DDoS", "with DD-POLICE", "no DDoS"],
         [[a, round(x, 3), round(y, 3), round(z, 3)] for a, x, y, z in rows],
@@ -74,8 +102,10 @@ def _run_fig10(scale: Scale, workers: Optional[int]) -> str:
     )
 
 
-def _run_fig11(scale: Scale, workers: Optional[int]) -> str:
-    rows = figures.fig11_success_rate(_agent_sweep(scale, workers))
+def _run_fig11(
+    scale: Scale, workers: Optional[int], obs: Optional[ObsConfig]
+) -> str:
+    rows = figures.fig11_success_rate(_agent_sweep(scale, workers, obs))
     return render_table(
         ["agents", "under DDoS", "with DD-POLICE", "no DDoS"],
         [[a, round(x, 1), round(y, 1), round(z, 1)] for a, x, y, z in rows],
@@ -83,8 +113,10 @@ def _run_fig11(scale: Scale, workers: Optional[int]) -> str:
     )
 
 
-def _run_fig12(scale: Scale, workers: Optional[int]) -> str:
-    timelines = figures.damage_timelines(scale, seed=11, workers=workers)
+def _run_fig12(
+    scale: Scale, workers: Optional[int], obs: Optional[ObsConfig]
+) -> str:
+    timelines = figures.damage_timelines(scale, seed=11, workers=workers, obs=obs)
     header = ["minute"] + [t.label for t in timelines]
     rows = []
     for i, minute in enumerate(timelines[0].minutes):
@@ -99,9 +131,11 @@ def _run_fig12(scale: Scale, workers: Optional[int]) -> str:
     return table + "\n\n" + sparks
 
 
-def _run_fig13(scale: Scale, workers: Optional[int]) -> str:
+def _run_fig13(
+    scale: Scale, workers: Optional[int], obs: Optional[ObsConfig]
+) -> str:
     rows = figures.fig13_errors(
-        figures.cut_threshold_sweep(scale, seed=13, workers=workers)
+        figures.cut_threshold_sweep(scale, seed=13, workers=workers, obs=obs)
     )
     return render_table(
         ["CT", "false judgment", "false positive", "false negative"],
@@ -110,11 +144,13 @@ def _run_fig13(scale: Scale, workers: Optional[int]) -> str:
     )
 
 
-def _run_fig14(scale: Scale, workers: Optional[int]) -> str:
+def _run_fig14(
+    scale: Scale, workers: Optional[int], obs: Optional[ObsConfig]
+) -> str:
     import math
 
     rows = figures.fig14_recovery(
-        figures.cut_threshold_sweep(scale, seed=13, workers=workers)
+        figures.cut_threshold_sweep(scale, seed=13, workers=workers, obs=obs)
     )
     return render_table(
         ["CT", "recovery (min)"],
@@ -123,8 +159,10 @@ def _run_fig14(scale: Scale, workers: Optional[int]) -> str:
     )
 
 
-def _run_exchange(scale: Scale, workers: Optional[int]) -> str:
-    rows = figures.exchange_frequency_study(scale, seed=17)
+def _run_exchange(
+    scale: Scale, workers: Optional[int], obs: Optional[ObsConfig]
+) -> str:
+    rows = figures.exchange_frequency_study(scale, seed=17, obs=obs)
     return render_table(
         ["policy", "false judgment", "overhead (k/min)", "damage (%)"],
         [
@@ -136,7 +174,7 @@ def _run_exchange(scale: Scale, workers: Optional[int]) -> str:
     )
 
 
-EXPERIMENTS: Dict[str, Callable[[Scale, Optional[int]], str]] = {
+EXPERIMENTS: Dict[str, Runner] = {
     "fig5": _run_fig5,
     "fig6": _run_fig6,
     "fig9": _run_fig9,
@@ -175,11 +213,56 @@ def build_parser() -> argparse.ArgumentParser:
         "$REPRO_WORKERS or 1 = serial; 0 = one per CPU); results are "
         "bit-identical for any value",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL trace of every simulation to PATH (overwritten; "
+        "a .manifest.json sidecar is written next to it; forces serial "
+        "execution so there is a single trace writer)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each experiment under cProfile and print the hottest "
+        "functions after its table",
+    )
     return parser
+
+
+def _trace_command(argv: Sequence[str]) -> int:
+    """``repro-experiments trace summarize <file>``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments trace",
+        description="Inspect JSONL trace files written with --trace.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    summarize = sub.add_parser(
+        "summarize", help="validate a trace and print per-kind record counts"
+    )
+    summarize.add_argument("file", help="JSONL trace file")
+    args = parser.parse_args(argv)
+    try:
+        summary = summarize_trace(args.file)
+    except OSError as exc:
+        print(f"trace summarize: {exc}", file=sys.stderr)
+        return 2
+    except ConfigError as exc:
+        print(f"trace summarize: invalid trace: {exc}", file=sys.stderr)
+        return 2
+    print(f"records: {summary['records']}")
+    if summary["records"]:
+        print(f"t range: {summary['t_min']:g} .. {summary['t_max']:g} s")
+    for kind, count in summary["kinds"].items():
+        print(f"  {kind}: {count}")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace":
+        return _trace_command(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiments == ["list"]:
         for name in sorted(EXPERIMENTS):
@@ -199,9 +282,56 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ConfigError as exc:
         print(f"bad --workers value: {exc}", file=sys.stderr)
         return 2
+
+    obs: Optional[ObsConfig] = None
+    if args.trace is not None:
+        if workers != 1:
+            print(
+                "--trace forces serial execution (single trace writer)",
+                file=sys.stderr,
+            )
+            workers = 1
+        # Fresh trace per invocation: JsonlSink appends, so clear any
+        # leftover file from a previous run first.
+        Path(args.trace).unlink(missing_ok=True)
+        obs = ObsConfig(
+            trace=True,
+            trace_path=str(args.trace),
+            metrics=True,
+            profile=args.profile,
+        )
+
+    profiler = Profiler(cprofile=True, top=15) if args.profile else None
+    started = time.perf_counter()
     for name in wanted:
-        print(EXPERIMENTS[name](scale, workers))
+        if profiler is not None:
+            with profiler.scope(f"cli.{name}"):
+                out = EXPERIMENTS[name](scale, workers, obs)
+        else:
+            out = EXPERIMENTS[name](scale, workers, obs)
+        print(out)
         print()
+        if profiler is not None:
+            report = profiler.reports[-1]
+            print(f"# profile {report['scope']}: {report['wall_s']:.2f}s wall")
+            print(report["profile_top"])
+    duration_s = time.perf_counter() - started
+
+    if args.trace is not None:
+        manifest = build_manifest(
+            kind="cli-trace",
+            config={
+                "scale": args.scale,
+                "experiments": list(wanted),
+                "obs": obs,
+            },
+            workers=workers,
+            tasks=len(wanted),
+            duration_s=duration_s,
+            extra={"trace_path": str(args.trace)},
+        )
+        sidecar = write_manifest(args.trace, manifest)
+        print(f"trace written to {args.trace} (manifest: {sidecar})")
     return 0
 
 

@@ -110,11 +110,22 @@ class Investigation:
         return self.received_fraction >= quorum
 
     # ------------------------------------------------------------------
-    def decide(self, config: DDPoliceConfig) -> InvestigationOutcome:
+    def _trace_key(self, value: Hashable):
+        """Scalar form of an observer/suspect id for trace fields."""
+        return getattr(value, "value", value)
+
+    def decide(
+        self,
+        config: DDPoliceConfig,
+        *,
+        tracer=None,
+        now: float = 0.0,
+    ) -> InvestigationOutcome:
         """Compute indicators and settle the investigation.
 
         Missing reports become None entries -- mapped to (0,0) inside
         :func:`indicators_from_reports` when ``assume_zero_on_missing``.
+        An optional ``tracer`` receives a ``police.decision`` record.
         """
         if self.outcome is not InvestigationOutcome.PENDING:
             return self.outcome
@@ -139,9 +150,21 @@ class Investigation:
             self.outcome = InvestigationOutcome.CONVICTED
         else:
             self.outcome = InvestigationOutcome.CLEARED
+        if tracer is not None:
+            tracer.event(
+                "police.decision",
+                t=now,
+                observer=self._trace_key(self.observer),
+                suspect=self._trace_key(self.suspect),
+                outcome=self.outcome.value,
+                g=g,
+                s=s,
+                reports=len(self.reports),
+                expected=len(self.expected_members),
+            )
         return self.outcome
 
-    def abstain(self) -> InvestigationOutcome:
+    def abstain(self, *, tracer=None, now: float = 0.0) -> InvestigationOutcome:
         """Settle as CLEARED without computing indicators.
 
         Used when the quorum rule refuses to judge on too little
@@ -152,6 +175,19 @@ class Investigation:
             self.g_value = float("nan")
             self.s_value = float("nan")
             self.outcome = InvestigationOutcome.CLEARED
+            if tracer is not None:
+                tracer.event(
+                    "police.decision",
+                    t=now,
+                    observer=self._trace_key(self.observer),
+                    suspect=self._trace_key(self.suspect),
+                    outcome=self.outcome.value,
+                    g=None,
+                    s=None,
+                    reason="quorum_unmet",
+                    reports=len(self.reports),
+                    expected=len(self.expected_members),
+                )
         return self.outcome
 
     def indicator_pair(self) -> Tuple[float, float]:

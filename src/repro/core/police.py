@@ -347,6 +347,15 @@ class DDPoliceEngine:
             own_in_from_suspect=own_in,
         )
         self._investigations[suspect] = inv
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.event(
+                "police.suspect",
+                t=self.network.now,
+                observer=self.peer.id.value,
+                suspect=suspect.value,
+                expected=len(expected),
+            )
         self._send_reports(suspect, expected)
         self.network.sim.schedule_in(
             self.config.collection_window_s, self._conclude, suspect
@@ -409,6 +418,15 @@ class DDPoliceEngine:
         if reported is None:
             return  # SILENT: refuse to report (retries don't change this)
         rep_out, rep_in = reported
+        if members and self.network.tracer is not None:
+            self.network.tracer.event(
+                "police.report",
+                t=now,
+                observer=self.peer.id.value,
+                suspect=suspect.value,
+                members=len(members),
+                retry=is_retry,
+            )
         for member in members:
             msg = NeighborTrafficMessage(
                 guid=self.network.guid_factory.new(),
@@ -508,7 +526,7 @@ class DDPoliceEngine:
             # here would mean cutting on mostly-assumed zeros -- exactly
             # the loss-driven false negatives the quorum exists to stop.
             self.quorum_abstentions += 1
-            inv.abstain()
+            inv.abstain(tracer=self.network.tracer, now=self.network.now)
             g, s = inv.indicator_pair()
             self.judgments.record(
                 Judgment(
@@ -523,7 +541,9 @@ class DDPoliceEngine:
             )
             self._investigations.pop(suspect, None)
             return
-        outcome = inv.decide(self.config)
+        outcome = inv.decide(
+            self.config, tracer=self.network.tracer, now=self.network.now
+        )
         g, s = inv.indicator_pair()
         disconnected = outcome is InvestigationOutcome.CONVICTED
         if disconnected and suspect in self.peer.neighbors:
@@ -553,6 +573,17 @@ class DDPoliceEngine:
         bye_code: int = Bye.REASON_DDOS_SUSPECT,
     ) -> None:
         self.disconnects_issued += 1
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.event(
+                "police.cut",
+                t=self.network.now,
+                observer=self.peer.id.value,
+                suspect=suspect.value,
+                reason=reason,
+                g=None if g != g else g,
+                s=None if s != s else s,
+            )
         self.judgments.record(
             Judgment(
                 time=self.network.now,

@@ -36,12 +36,14 @@ from __future__ import annotations
 import atexit
 import os
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError, ExecError, TaskTimeoutError, WorkerCrashError
+from repro.obs.metrics import global_registry
 
 #: Environment variable holding the default worker count for sweeps that
 #: do not pass ``workers`` explicitly (benchmarks, CLI).
@@ -82,9 +84,45 @@ class ExecStats:
     #: it is the task's own runtime and for the parallel path it includes
     #: queueing.
     chunk_timings: List[Tuple[int, int, float]] = field(default_factory=list)
+    #: Progress-hook exceptions swallowed during this call (hooks are
+    #: observers; a broken one must not kill the sweep).
+    hook_errors: int = 0
+    #: With ``profile=True``: one report dict per chunk, in completion
+    #: order, shipped back from the worker ({"first_task", "tasks",
+    #: "wall_s", and -- under cProfile -- "profile_top"}).
+    worker_profiles: List[Dict[str, Any]] = field(default_factory=list)
 
 
 ProgressHook = Callable[[int, int], None]
+
+
+class _SafeProgress:
+    """Wraps a progress hook so its exceptions cannot kill the run.
+
+    The first failure emits one :class:`RuntimeWarning`; every failure
+    increments both ``stats.hook_errors`` and the process-wide
+    ``exec.progress_hook_errors`` counter.
+    """
+
+    def __init__(self, hook: ProgressHook, stats: ExecStats) -> None:
+        self._hook = hook
+        self._stats = stats
+        self._warned = False
+
+    def __call__(self, done: int, total: int) -> None:
+        try:
+            self._hook(done, total)
+        except Exception as exc:
+            self._stats.hook_errors += 1
+            global_registry().counter("exec.progress_hook_errors").inc()
+            if not self._warned:
+                self._warned = True
+                warnings.warn(
+                    f"pmap progress hook raised {type(exc).__name__}: {exc}; "
+                    "suppressing further hook errors for this call",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
 
 
 def _chunk_bounds(n_tasks: int, chunk_size: int) -> List[Tuple[int, int]]:
@@ -94,6 +132,23 @@ def _chunk_bounds(n_tasks: int, chunk_size: int) -> List[Tuple[int, int]]:
 def _run_chunk(fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
     """Worker-side body: run one chunk serially, preserving order."""
     return [fn(task) for task in tasks]
+
+
+def _run_chunk_profiled(
+    fn: Callable[[Any], Any], tasks: Sequence[Any], first_task: int, top: int
+) -> Tuple[List[Any], Dict[str, Any]]:
+    """Worker-side body under ``profile=True``: results + a profile report.
+
+    cProfile runs around the whole chunk and the top-``top``
+    cumulative-time rows travel back as text, so the parent can show
+    where worker wall-time went without any shared state.
+    """
+    from repro.obs.profile import Profiler
+
+    profiler = Profiler(cprofile=True, top=top)
+    with profiler.scope("exec.chunk", first_task=first_task, tasks=len(tasks)):
+        results = [fn(task) for task in tasks]
+    return results, profiler.reports[0]
 
 
 # ---------------------------------------------------------------------------
@@ -143,6 +198,8 @@ def pmap(
     timeout_s: Optional[float] = None,
     on_progress: Optional[ProgressHook] = None,
     stats: Optional[ExecStats] = None,
+    profile: bool = False,
+    profile_top: int = 20,
 ) -> List[Any]:
     """Map ``fn`` over ``tasks``, optionally on a process pool.
 
@@ -163,9 +220,16 @@ def pmap(
         :class:`~repro.errors.TaskTimeoutError` is raised.
     on_progress:
         ``on_progress(done, total)`` after each task (serial) or chunk
-        (parallel) completes, in the parent process.
+        (parallel) completes, in the parent process. Exceptions raised by
+        the hook are swallowed (counted in ``stats.hook_errors`` and the
+        global ``exec.progress_hook_errors`` counter, one warning per
+        call) -- a broken observer must not kill the sweep.
     stats:
         Optional :class:`ExecStats` to fill with timing details.
+    profile:
+        Run cProfile around each chunk (in the worker) and ship the
+        top-``profile_top`` cumulative rows back in
+        ``stats.worker_profiles``. Opt-in: adds real overhead.
 
     Returns ``[fn(t) for t in tasks]`` in task order.
     """
@@ -175,6 +239,8 @@ def pmap(
     stats = stats if stats is not None else ExecStats()
     stats.tasks = total
     stats.workers = workers
+    if on_progress is not None:
+        on_progress = _SafeProgress(on_progress, stats)
     started = time.perf_counter()
 
     if workers == 1 or total <= 1:
@@ -183,16 +249,30 @@ def pmap(
         # running one, so a single long task behaves exactly as before).
         results: List[Any] = []
         stats.chunks = total
-        for index, task in enumerate(tasks):
-            if timeout_s is not None and time.perf_counter() - started > timeout_s:
-                raise TaskTimeoutError(
-                    f"serial pmap exceeded {timeout_s:g}s after {index}/{total} tasks"
-                )
-            t0 = time.perf_counter()
-            results.append(fn(task))
-            stats.chunk_timings.append((index, 1, time.perf_counter() - t0))
-            if on_progress is not None:
-                on_progress(index + 1, total)
+        profiler = None
+        if profile and total:
+            from repro.obs.profile import Profiler
+
+            profiler = Profiler(cprofile=True, top=profile_top)
+            profiler_scope = profiler.scope(
+                "exec.chunk", first_task=0, tasks=total
+            )
+            profiler_scope.__enter__()
+        try:
+            for index, task in enumerate(tasks):
+                if timeout_s is not None and time.perf_counter() - started > timeout_s:
+                    raise TaskTimeoutError(
+                        f"serial pmap exceeded {timeout_s:g}s after {index}/{total} tasks"
+                    )
+                t0 = time.perf_counter()
+                results.append(fn(task))
+                stats.chunk_timings.append((index, 1, time.perf_counter() - t0))
+                if on_progress is not None:
+                    on_progress(index + 1, total)
+        finally:
+            if profiler is not None:
+                profiler_scope.__exit__(None, None, None)
+                stats.worker_profiles.extend(profiler.reports)
         stats.wall_s = time.perf_counter() - started
         return results
 
@@ -206,9 +286,18 @@ def pmap(
     pool = _pool(workers)
     slots: List[Optional[List[Any]]] = [None] * total
     try:
-        future_bounds = {
-            pool.submit(_run_chunk, fn, tasks[lo:hi]): (lo, hi) for lo, hi in bounds
-        }
+        if profile:
+            future_bounds = {
+                pool.submit(
+                    _run_chunk_profiled, fn, tasks[lo:hi], lo, profile_top
+                ): (lo, hi)
+                for lo, hi in bounds
+            }
+        else:
+            future_bounds = {
+                pool.submit(_run_chunk, fn, tasks[lo:hi]): (lo, hi)
+                for lo, hi in bounds
+            }
     except BrokenProcessPool as exc:  # pool died before accepting work
         _discard_pool(workers)
         raise WorkerCrashError(f"worker pool broken at submit: {exc}") from exc
@@ -241,6 +330,9 @@ def pmap(
                     raise WorkerCrashError(
                         f"worker crashed while running tasks [{lo}, {hi}): {exc}"
                     ) from exc
+                if profile:
+                    chunk_results, report = chunk_results
+                    stats.worker_profiles.append(report)
                 if len(chunk_results) != hi - lo:
                     raise ExecError(
                         f"chunk [{lo}, {hi}) returned {len(chunk_results)} results"

@@ -26,6 +26,7 @@ from repro.experiments.sweeps import trial_seed
 from repro.metrics.damage import damage_rate, damage_recovery_time
 from repro.metrics.errors import ErrorCounts
 from repro.metrics.series import TimeSeries
+from repro.obs.config import ObsConfig
 from repro.testbed.pipeline import run_rate_sweep
 
 
@@ -64,8 +65,12 @@ class AgentSweepRow:
     success_defended: float
 
 
-def _base_config(scale: Scale, seed: int) -> FluidConfig:
-    return FluidConfig(n=scale.n_peers, seed=seed)
+def _base_config(
+    scale: Scale, seed: int, obs: Optional[ObsConfig] = None
+) -> FluidConfig:
+    if obs is None:
+        return FluidConfig(n=scale.n_peers, seed=seed)
+    return FluidConfig(n=scale.n_peers, seed=seed, obs=obs)
 
 
 def _steady_means(
@@ -98,7 +103,9 @@ def _steady_case_task(
     cfg, minutes, settle = task
     sim = FluidSimulation(cfg)
     sim.run(minutes)
-    return _steady_means(sim.rows, settle)
+    out = _steady_means(sim.rows, settle)
+    sim.close_obs()
+    return out
 
 
 def _success_rows_task(
@@ -108,7 +115,9 @@ def _success_rows_task(
     cfg, minutes = task
     sim = FluidSimulation(cfg)
     sim.run(minutes)
-    return [(r.minute, r.success_rate) for r in sim.rows], sim.error_counts()
+    out = [(r.minute, r.success_rate) for r in sim.rows], sim.error_counts()
+    sim.close_obs()
+    return out
 
 
 def agent_sweep(
@@ -118,6 +127,7 @@ def agent_sweep(
     agent_counts: Optional[Sequence[int]] = None,
     police: Optional[DDPoliceConfig] = None,
     workers: Optional[int] = None,
+    obs: Optional[ObsConfig] = None,
 ) -> List[AgentSweepRow]:
     """Shared sweep behind Figures 9, 10, and 11.
 
@@ -129,7 +139,7 @@ def agent_sweep(
     scale = scale or bench_scale()
     agent_counts = list(agent_counts or scale.agent_counts())
     police = police or DDPoliceConfig()
-    base = _base_config(scale, seed)
+    base = _base_config(scale, seed, obs)
     settle = scale.attack_start_min + 4  # measure after detection settles
 
     tasks: List[Tuple[FluidConfig, int, int]] = [(base, scale.sim_minutes, settle)]
@@ -225,6 +235,7 @@ def damage_timelines(
     seed: int = 11,
     trials: int = 1,
     workers: Optional[int] = None,
+    obs: Optional[ObsConfig] = None,
 ) -> List[DamageTimeline]:
     """Figure 12: no-defense + DD-POLICE-CT damage trajectories.
 
@@ -243,7 +254,7 @@ def damage_timelines(
     cases_per_trial = 2 + len(cut_thresholds)  # baseline, no-defense, CTs
     tasks: List[Tuple[FluidConfig, int]] = []
     for t in range(n_trials):
-        base = _base_config(scale, trial_seed(seed, t))
+        base = _base_config(scale, trial_seed(seed, t), obs)
         attack_cfg = replace(
             base, num_agents=agents, attack_start_min=scale.attack_start_min
         )
@@ -335,6 +346,7 @@ def cut_threshold_sweep(
     seed: int = 13,
     trials: int = 1,
     workers: Optional[int] = None,
+    obs: Optional[ObsConfig] = None,
 ) -> List[CutThresholdRow]:
     """Shared sweep behind Figures 13 and 14.
 
@@ -353,7 +365,7 @@ def cut_threshold_sweep(
     cases_per_trial = 1 + len(cut_thresholds)
     tasks: List[Tuple[FluidConfig, int]] = []
     for trial in range(n_trials):
-        base = _base_config(scale, trial_seed(seed, trial))
+        base = _base_config(scale, trial_seed(seed, trial), obs)
         tasks.append((base, minutes))
         for ct in cut_thresholds:
             tasks.append(
@@ -467,6 +479,7 @@ def exchange_frequency_study(
     agents: Optional[int] = None,
     minutes: Optional[int] = None,
     seed: int = 17,
+    obs: Optional[ObsConfig] = None,
 ) -> List[ExchangeFrequencyRow]:
     """Periodic policy at several periods; the paper's conclusion is that
     s <= 2 min performs well, s >= 4 min degrades accuracy, and the
@@ -479,10 +492,11 @@ def exchange_frequency_study(
     scale = scale or bench_scale()
     minutes = minutes or scale.sim_minutes
     agents = agents if agents is not None else max(1, round(0.005 * scale.n_peers))
-    base = _base_config(scale, seed)
+    base = _base_config(scale, seed, obs)
 
     baseline = FluidSimulation(base)
     baseline.run(minutes)
+    baseline.close_obs()
     base_success = {r.minute: r.success_rate for r in baseline.rows}
 
     def run_one(label: str, period: int, event_driven: bool) -> ExchangeFrequencyRow:
@@ -495,6 +509,7 @@ def exchange_frequency_study(
         )
         sim = FluidSimulation(cfg)
         sim.run(minutes)
+        sim.close_obs()
         errors = sim.error_counts()
         online_mean = sim.mean_over(1, "online")
         mean_deg = 6.0

@@ -14,10 +14,11 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Sequence, Type, TypeVar, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Type, TypeVar, Union
 
 from repro.errors import ConfigError
 from repro.fluid.model import MinuteRow
+from repro.obs.manifest import atomic_write_text, write_manifest
 
 T = TypeVar("T")
 
@@ -35,17 +36,29 @@ def _to_jsonable(value: Any) -> Any:
 
 
 def save_records(
-    path: Union[str, Path], records: Sequence[Any], *, kind: str
+    path: Union[str, Path],
+    records: Sequence[Any],
+    *,
+    kind: str,
+    manifest: Optional[Mapping[str, Any]] = None,
 ) -> Path:
-    """Write a list of flat dataclass instances as JSON."""
+    """Write a list of flat dataclass instances as JSON.
+
+    With ``manifest`` given (build it via
+    :func:`repro.obs.manifest.build_manifest`), a ``.manifest.json``
+    provenance sidecar is written next to the artifact.
+    """
     rows: List[Dict[str, Any]] = []
     for rec in records:
         if not dataclasses.is_dataclass(rec):
             raise ConfigError(f"record {rec!r} is not a dataclass")
         rows.append(_to_jsonable(dataclasses.asdict(rec)))
     payload = {"format": _FORMAT_VERSION, "kind": kind, "records": rows}
-    out = Path(path)
-    out.write_text(json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8")
+    # Atomic (temp file + rename): a sweep killed mid-save can never
+    # leave a truncated JSON behind.
+    out = atomic_write_text(path, json.dumps(payload, indent=1, sort_keys=True))
+    if manifest is not None:
+        write_manifest(out, manifest)
     return out
 
 
@@ -61,9 +74,14 @@ def load_records(path: Union[str, Path], cls: Type[T], *, kind: str) -> List[T]:
     return [cls(**rec) for rec in payload["records"]]
 
 
-def save_rows(path: Union[str, Path], rows: Sequence[MinuteRow]) -> Path:
+def save_rows(
+    path: Union[str, Path],
+    rows: Sequence[MinuteRow],
+    *,
+    manifest: Optional[Mapping[str, Any]] = None,
+) -> Path:
     """Persist a fluid run's per-minute rows."""
-    return save_records(path, rows, kind="minute-rows")
+    return save_records(path, rows, kind="minute-rows", manifest=manifest)
 
 
 def load_rows(path: Union[str, Path]) -> List[MinuteRow]:

@@ -22,6 +22,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.metrics.collectors import LegacyMetricsCollector, MetricsCollector
 from repro.metrics.errors import ErrorCounts, JudgmentLog
+from repro.obs.config import Observability, ObsConfig
 from repro.overlay.content import ContentCatalog, ContentConfig
 from repro.overlay.ids import PeerId
 from repro.overlay.network import NetworkConfig, OverlayNetwork
@@ -63,6 +64,10 @@ class DESConfig:
     #: victims are drawn from the *good* population so the ground-truth
     #: error accounting stays meaningful; explicit peer lists override.
     faults: FaultPlan = FaultPlan()
+    #: Observability (tracing / metrics / profiling). Fully disabled by
+    #: default: every instrumentation site reduces to one falsy branch
+    #: and the run is bit-identical to pre-obs builds.
+    obs: ObsConfig = ObsConfig()
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -90,6 +95,12 @@ class DESRun:
     judgments: Optional[JudgmentLog]
     bad_peers: Set[PeerId] = field(default_factory=set)
     injector: Optional[FaultInjector] = None
+    #: Observability bundle of the run (None when disabled); trace ring
+    #: buffer, metrics registry, and profiler reports stay inspectable
+    #: after the run even though file sinks are already flushed/closed.
+    obs: Optional[Observability] = None
+    #: Wall-clock duration of the event loop (seconds).
+    wall_s: float = 0.0
 
     @property
     def success_rate(self) -> float:
@@ -118,7 +129,8 @@ class DESRun:
 def run_des_experiment(config: DESConfig) -> DESRun:
     """Build and run one message-level experiment end to end."""
     rngs = RngRegistry(config.seed)
-    sim = Simulator()
+    obs = Observability.from_config(config.obs, run=f"des-seed{config.seed}")
+    sim = Simulator(tracer=obs.tracer if obs is not None else None)
     topo_cfg = config.topology or TopologyConfig(n=config.n, seed=config.seed)
     if topo_cfg.n != config.n:
         raise ConfigError("topology n must match config n")
@@ -128,7 +140,7 @@ def run_des_experiment(config: DESConfig) -> DESRun:
     if config.metrics_mode == "legacy" and net_cfg.retire_settled_records:
         net_cfg = replace(net_cfg, retire_settled_records=False)
     network = OverlayNetwork(
-        sim, topo, config=net_cfg, content=content, rng_registry=rngs
+        sim, topo, config=net_cfg, content=content, rng_registry=rngs, obs=obs
     )
     collector: Union[MetricsCollector, LegacyMetricsCollector]
     if config.metrics_mode == "legacy":
@@ -187,7 +199,19 @@ def run_des_experiment(config: DESConfig) -> DESRun:
     if scenario is not None:
         scenario.launch()
 
-    sim.run(until=config.duration_s)
+    import time as _time
+
+    started = _time.perf_counter()
+    if obs is not None and obs.profiler is not None:
+        with obs.profiler.scope("des.run", n=config.n, seed=config.seed):
+            sim.run(until=config.duration_s)
+    else:
+        sim.run(until=config.duration_s)
+    wall_s = _time.perf_counter() - started
+    if obs is not None:
+        # Flush/close file sinks now; the ring buffer, metrics registry
+        # and profiler reports remain readable on the returned run.
+        obs.close()
     return DESRun(
         config=config,
         sim=sim,
@@ -198,4 +222,6 @@ def run_des_experiment(config: DESConfig) -> DESRun:
         judgments=judgments,
         bad_peers=bad_peers,
         injector=injector,
+        obs=obs,
+        wall_s=wall_s,
     )

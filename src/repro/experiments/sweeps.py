@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.errors import ConfigError
 from repro.exec import pmap
 from repro.fluid.model import FluidConfig, FluidSimulation
+from repro.obs.config import ObsConfig
 from repro.simkit.rng import derive_seed
 
 
@@ -55,7 +56,9 @@ def _metrics_task(
     cfg, minutes, metrics = task
     sim = FluidSimulation(cfg)
     sim.run(minutes)
-    return {name: float(extractor(sim)) for name, extractor in metrics.items()}
+    out = {name: float(extractor(sim)) for name, extractor in metrics.items()}
+    sim.close_obs()
+    return out
 
 
 @dataclass(frozen=True)
@@ -120,6 +123,7 @@ def run_point(
     trials: int = 1,
     seed0: int = 0,
     workers: Optional[int] = None,
+    obs: Optional[ObsConfig] = None,
 ) -> SweepPoint:
     """Run one configuration ``trials`` times and aggregate metrics.
 
@@ -127,12 +131,16 @@ def run_point(
     (e.g. ``RowMean(10, "success_rate")``; lambdas work too but only
     serially). Trial ``t`` runs with seed ``derive_seed(seed0, "trial",
     t)``; trials execute through :func:`repro.exec.pmap` with the given
-    ``workers`` (default: serial / ``$REPRO_WORKERS``).
+    ``workers`` (default: serial / ``$REPRO_WORKERS``). ``obs`` (if
+    given) replaces the base config's observability settings for every
+    trial.
     """
     if trials < 1:
         raise ConfigError("trials must be >= 1")
     if not metrics:
         raise ConfigError("at least one metric extractor required")
+    if obs is not None:
+        base = replace(base, obs=obs)
     tasks = _trial_tasks(base, overrides, minutes, metrics, trials, seed0)
     sample_dicts = pmap(_metrics_task, tasks, workers=workers)
     return _point_from_samples(overrides, metrics, sample_dicts)
@@ -147,6 +155,7 @@ def sweep(
     trials: int = 1,
     seed0: int = 0,
     workers: Optional[int] = None,
+    obs: Optional[ObsConfig] = None,
 ) -> List[SweepPoint]:
     """Full-factorial sweep over ``grid`` (cartesian product of values).
 
@@ -170,6 +179,8 @@ def sweep(
         raise ConfigError("trials must be >= 1")
     if not metrics:
         raise ConfigError("at least one metric extractor required")
+    if obs is not None:
+        base = replace(base, obs=obs)
     names = sorted(grid)
     for name in names:
         if not grid[name]:
@@ -317,6 +328,7 @@ def fault_sweep(
     seed0: int = 0,
     profiles: Sequence[str] = FAULT_PROFILES,
     workers: Optional[int] = None,
+    obs: Optional[ObsConfig] = None,
 ) -> List[FaultPoint]:
     """Sweep control-plane loss x fail-stop crashes, per evidence profile.
 
@@ -379,6 +391,8 @@ def fault_sweep(
                         )
                     )
 
+    if obs is not None:
+        tasks = [replace(cfg, obs=obs) for cfg in tasks]
     results = pmap(_des_case_task, tasks, workers=workers)
     baseline_series = {
         key: series

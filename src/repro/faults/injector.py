@@ -97,19 +97,38 @@ class FaultInjector:
         """
         assert self.network is not None, "injector not attached"
         now = self.network.now
+        tracer = self.network.tracer
         for rule in self.plan.loss:
             if rule.matches(now, src.value, dst.value, msg.kind):
                 if self.rngs.stream("faults.loss").random() < rule.probability:
                     self.stats.messages_dropped += 1
                     by_kind = self.stats.dropped_by_kind
                     by_kind[msg.kind.name] = by_kind.get(msg.kind.name, 0) + 1
+                    if tracer is not None:
+                        tracer.event(
+                            "fault.drop",
+                            t=now,
+                            src=src.value,
+                            dst=dst.value,
+                            msg=msg.kind.name,
+                        )
                     return None
         for rule in self.plan.delay:
             if rule.matches(now, msg.kind):
                 rng = self.rngs.stream("faults.delay")
                 if rng.random() < rule.probability:
-                    delay += rng.uniform(rule.min_extra_s, rule.max_extra_s)
+                    extra_s = rng.uniform(rule.min_extra_s, rule.max_extra_s)
+                    delay += extra_s
                     self.stats.messages_delayed += 1
+                    if tracer is not None:
+                        tracer.event(
+                            "fault.delay",
+                            t=now,
+                            src=src.value,
+                            dst=dst.value,
+                            msg=msg.kind.name,
+                            extra_s=extra_s,
+                        )
         for rule in self.plan.duplicate:
             if rule.matches(now, msg.kind):
                 rng = self.rngs.stream("faults.duplicate")
@@ -124,6 +143,14 @@ class FaultInjector:
                     )
                     self.stats.messages_duplicated += 1
                     self.network.stats.messages_duplicated_fault += 1
+                    if tracer is not None:
+                        tracer.event(
+                            "fault.duplicate",
+                            t=now,
+                            src=src.value,
+                            dst=dst.value,
+                            msg=msg.kind.name,
+                        )
         return delay
 
     # ------------------------------------------------------------------
@@ -163,6 +190,10 @@ class FaultInjector:
         # entries and only ever observe silence.
         peer.go_offline()
         self.stats.crashes += 1
+        if self.network.tracer is not None:
+            self.network.tracer.event(
+                "fault.crash", t=self.network.now, peer=pid.value
+            )
 
     # ------------------------------------------------------------------
     # fail-slow windows
@@ -192,6 +223,13 @@ class FaultInjector:
             self._degraded[pid] = bucket.rate_per_min
             bucket.rate_per_min = bucket.rate_per_min * rule.factor
             self.stats.fail_slow_applied += 1
+            if self.network.tracer is not None:
+                self.network.tracer.event(
+                    "fault.failslow.begin",
+                    t=self.network.now,
+                    peer=pid.value,
+                    factor=rule.factor,
+                )
         if rule.window.end_s != float("inf"):
             self.network.sim.schedule_at(
                 rule.window.end_s, self._end_fail_slow, tuple(victims)
@@ -205,6 +243,10 @@ class FaultInjector:
                 continue
             self.network.peers[pid].processing.rate_per_min = original
             self.stats.fail_slow_restored += 1
+            if self.network.tracer is not None:
+                self.network.tracer.event(
+                    "fault.failslow.end", t=self.network.now, peer=pid.value
+                )
 
     # ------------------------------------------------------------------
     def degraded_peers(self) -> Set[PeerId]:

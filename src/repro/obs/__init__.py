@@ -1,0 +1,63 @@
+"""Observability layer: tracing, counters, run manifests, profiling.
+
+`repro.obs` is the always-available instrumentation substrate behind
+every simulation run. It is designed around one invariant: **disabled
+observability is free and invisible** -- every instrumentation point in
+the simulators guards on a single ``is not None`` branch, and enabling
+any part of it must never perturb an experiment's random draws or its
+published numbers (proven by the trace-on/off equivalence property
+tests).
+
+Four parts:
+
+* :mod:`repro.obs.trace` -- structured, schema-versioned trace records
+  through a bounded ring buffer and pluggable sinks (JSONL file,
+  in-memory for tests);
+* :mod:`repro.obs.metrics` -- process-local counters, gauges, and
+  histogram timers, exportable as JSON and Prometheus-style text;
+* :mod:`repro.obs.manifest` -- ``*.manifest.json`` sidecars recording
+  the config (and its SHA-256), seeds, workers, code version, and
+  environment behind every ``results/`` artifact;
+* :mod:`repro.obs.profile` -- opt-in cProfile / ``perf_counter`` scopes
+  around the hot loops.
+
+See docs/OBSERVABILITY.md for the record schemas and usage.
+"""
+
+from repro.obs.config import Observability, ObsConfig
+from repro.obs.manifest import (
+    build_manifest,
+    config_sha256,
+    load_manifest,
+    sidecar_path,
+    verify_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import MetricsRegistry, global_registry
+from repro.obs.profile import Profiler
+from repro.obs.trace import (
+    JsonlSink,
+    MemorySink,
+    Tracer,
+    summarize_trace,
+    validate_record,
+)
+
+__all__ = [
+    "ObsConfig",
+    "Observability",
+    "Tracer",
+    "JsonlSink",
+    "MemorySink",
+    "validate_record",
+    "summarize_trace",
+    "MetricsRegistry",
+    "global_registry",
+    "Profiler",
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "verify_manifest",
+    "sidecar_path",
+    "config_sha256",
+]

@@ -1,0 +1,158 @@
+"""Observability configuration and its runtime counterpart.
+
+:class:`ObsConfig` is a frozen, picklable dataclass that rides inside
+the simulator configs (``DESConfig.obs`` / ``FluidConfig.obs``) so obs
+settings cross the ``exec.pmap`` spawn boundary with the rest of the
+run description. The default instance is fully disabled;
+:meth:`Observability.from_config` returns ``None`` for it, so every
+instrumentation site in the simulators costs exactly one
+``is not None`` branch when observability is off.
+
+:class:`Observability` is the run-scoped bundle built from a config:
+a :class:`~repro.obs.trace.Tracer` (or ``None``), a
+:class:`~repro.obs.metrics.MetricsRegistry` (or ``None``), and a
+:class:`~repro.obs.profile.Profiler` (or ``None``). It owns sink
+lifetimes: call :meth:`Observability.close` (or use it as a context
+manager) when the run ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import Profiler
+from repro.obs.trace import JsonlSink, Tracer
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What to observe. Default: nothing (free, invisible).
+
+    trace:
+        Emit structured trace records (ring buffer always; JSONL file
+        when ``trace_path`` is set).
+    trace_path:
+        JSONL file to append trace records to. ``None`` keeps tracing
+        in-memory only (ring buffer).
+    trace_ring:
+        Ring-buffer capacity (most recent records kept for post-run
+        inspection).
+    trace_max_bytes / trace_backups:
+        Size-based rotation for the JSONL sink; ``0`` disables rotation.
+    metrics:
+        Maintain a run-scoped counter/gauge/timer registry.
+    profile:
+        Wall-clock profiling scopes around the hot loops.
+    profile_cprofile:
+        Additionally run cProfile inside profiling scopes (implies the
+        scope overhead is no longer negligible -- opt-in only).
+    profile_top:
+        How many cProfile rows to keep per scope report.
+    """
+
+    trace: bool = False
+    trace_path: Optional[str] = None
+    trace_ring: int = 4096
+    trace_max_bytes: int = 0
+    trace_backups: int = 3
+    metrics: bool = False
+    profile: bool = False
+    profile_cprofile: bool = False
+    profile_top: int = 20
+
+    def __post_init__(self) -> None:
+        if self.trace_ring < 1:
+            raise ConfigError(f"trace_ring must be >= 1, got {self.trace_ring}")
+        if self.trace_max_bytes < 0:
+            raise ConfigError(
+                f"trace_max_bytes must be non-negative, got {self.trace_max_bytes}"
+            )
+        if self.trace_backups < 0:
+            raise ConfigError(
+                f"trace_backups must be non-negative, got {self.trace_backups}"
+            )
+        if self.profile_top < 1:
+            raise ConfigError(f"profile_top must be >= 1, got {self.profile_top}")
+        if self.trace_path is not None and not self.trace:
+            raise ConfigError("trace_path given but trace=False")
+        if self.profile_cprofile and not self.profile:
+            raise ConfigError("profile_cprofile=True requires profile=True")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any part of observability is on."""
+        return self.trace or self.metrics or self.profile
+
+
+class Observability:
+    """Run-scoped tracer/metrics/profiler bundle built from an ObsConfig.
+
+    Attributes are ``None`` for the parts that are disabled, so callers
+    can hand ``obs.tracer`` straight to an instrumentation site.
+    """
+
+    def __init__(
+        self,
+        config: ObsConfig,
+        *,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        profiler: Optional[Profiler] = None,
+    ) -> None:
+        self.config = config
+        self.tracer = tracer
+        self.metrics = metrics
+        self.profiler = profiler
+        self._closed = False
+
+    @classmethod
+    def from_config(
+        cls, config: Optional[ObsConfig], *, run: Optional[str] = None
+    ) -> Optional["Observability"]:
+        """Build the runtime bundle; ``None`` when nothing is enabled.
+
+        ``run`` labels every trace record (useful when several runs
+        append to one JSONL file, e.g. a serial sweep).
+        """
+        if config is None or not config.enabled:
+            return None
+        tracer = None
+        if config.trace:
+            sinks = []
+            if config.trace_path is not None:
+                sinks.append(
+                    JsonlSink(
+                        config.trace_path,
+                        max_bytes=config.trace_max_bytes,
+                        backups=config.trace_backups,
+                    )
+                )
+            tracer = Tracer(ring_size=config.trace_ring, sinks=sinks, run=run)
+        metrics = MetricsRegistry() if config.metrics else None
+        profiler = None
+        if config.profile:
+            profiler = Profiler(
+                cprofile=config.profile_cprofile, top=config.profile_top
+            )
+        return cls(config, tracer=tracer, metrics=metrics, profiler=profiler)
+
+    # ------------------------------------------------------------------
+    def counters_snapshot(self) -> Dict[str, Any]:
+        """Metrics snapshot for manifest embedding ({} when disabled)."""
+        return self.metrics.snapshot() if self.metrics is not None else {}
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self.tracer is not None:
+            self.tracer.close()
+
+    def __enter__(self) -> "Observability":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

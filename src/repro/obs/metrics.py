@@ -1,0 +1,192 @@
+"""Process-local counters, gauges, and histogram timers.
+
+A :class:`MetricsRegistry` memoizes instruments by dotted name
+(``net.messages.query``, ``sim.minute_wall_s``) and exports the whole
+set as a JSON-able snapshot or Prometheus-style text. Instruments are
+deliberately simple (no labels, no time windows): the registry answers
+"what did this run do", not "what is production doing right now".
+
+A module-level registry (:func:`global_registry`) exists for
+infrastructure that has no run-scoped registry in reach -- e.g. the
+parallel executor counting swallowed progress-hook exceptions.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, Iterator
+
+from repro.errors import ConfigError
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ConfigError(
+            f"bad metric name {name!r}: want dotted identifiers "
+            "([A-Za-z_][A-Za-z0-9_.]*)"
+        )
+    return name
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ConfigError(f"counter {self.name} cannot decrease (inc({n}))")
+        self.value += n
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Timer:
+    """Streaming summary of observed durations (seconds)."""
+
+    __slots__ = ("name", "count", "total_s", "min_s", "max_s")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = math.inf
+        self.max_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ConfigError(f"timer {self.name} observed negative duration")
+        self.count += 1
+        self.total_s += seconds
+        self.min_s = min(self.min_s, seconds)
+        self.max_s = max(self.max_s, seconds)
+
+    def time(self):
+        """Context manager observing the wall time of the wrapped block."""
+        import time as _time
+        from contextlib import contextmanager
+
+        @contextmanager
+        def _scope() -> Iterator[None]:
+            start = _time.perf_counter()
+            try:
+                yield
+            finally:
+                self.observe(_time.perf_counter() - start)
+
+        return _scope()
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named instrument factory with JSON and Prometheus export.
+
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("net.messages.query").inc(3)
+    >>> reg.counter("net.messages.query").value
+    3
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[_check_name(name)] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[_check_name(name)] = Gauge(name)
+        return inst
+
+    def timer(self, name: str) -> Timer:
+        inst = self._timers.get(name)
+        if inst is None:
+            inst = self._timers[_check_name(name)] = Timer(name)
+        return inst
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and between-run isolation)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able dump of every instrument's current state."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "timers": {
+                n: {
+                    "count": t.count,
+                    "total_s": t.total_s,
+                    "mean_s": t.mean_s,
+                    "min_s": (None if t.count == 0 else t.min_s),
+                    "max_s": t.max_s,
+                }
+                for n, t in sorted(self._timers.items())
+            },
+        }
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """Prometheus text-exposition rendering of the registry.
+
+        Dots in metric names become underscores; timers expose
+        ``_count`` / ``_sum`` pairs plus min/max gauges.
+        """
+
+        def flat(name: str) -> str:
+            return f"{prefix}_{name.replace('.', '_')}"
+
+        lines = []
+        for name, c in sorted(self._counters.items()):
+            lines.append(f"# TYPE {flat(name)} counter")
+            lines.append(f"{flat(name)} {c.value}")
+        for name, g in sorted(self._gauges.items()):
+            lines.append(f"# TYPE {flat(name)} gauge")
+            lines.append(f"{flat(name)} {g.value:g}")
+        for name, t in sorted(self._timers.items()):
+            base = flat(name)
+            lines.append(f"# TYPE {base} summary")
+            lines.append(f"{base}_count {t.count}")
+            lines.append(f"{base}_sum {t.total_s:g}")
+            lines.append(f"{base}_min {0.0 if t.count == 0 else t.min_s:g}")
+            lines.append(f"{base}_max {t.max_s:g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide registry (executor internals, ad-hoc counters)."""
+    return _GLOBAL

@@ -10,7 +10,7 @@ found; traffic cost = bytes moved).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
 from repro.errors import ConfigError, ProtocolError
 from repro.metrics.accounting import QueryAccounting
@@ -23,6 +23,9 @@ from repro.overlay.topology import Topology
 from repro.simkit.engine import Simulator
 from repro.simkit.rng import RngRegistry
 from repro.simkit.timers import PeriodicTask
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.obs.config import Observability
 
 
 @dataclass(frozen=True)
@@ -140,9 +143,18 @@ class OverlayNetwork:
         content: Optional[ContentCatalog] = None,
         rng_registry: Optional[RngRegistry] = None,
         processing_qpm: Optional[Dict[int, float]] = None,
+        obs: Optional["Observability"] = None,
     ) -> None:
         self.sim = sim
         self.config = config
+        #: Optional observability bundle (``repro.obs.Observability``).
+        #: ``tracer``/``metrics`` are unpacked onto the network so hot
+        #: paths pay one attribute load + falsy branch when disabled.
+        self.obs = obs
+        self.tracer = obs.tracer if obs is not None else None
+        self.metrics = obs.metrics if obs is not None else None
+        self._minute_wall_last: Optional[float] = None
+        self._minute_events_last = 0
         self.rngs = rng_registry or RngRegistry(config.seed)
         self._latency_rng = self.rngs.stream("net.latency")
         self.guid_factory = GuidFactory(self.rngs.stream("net.guid"))
@@ -252,6 +264,14 @@ class OverlayNetwork:
                 down is not None and not down.try_consume(self.now)
             ):
                 self.stats.messages_dropped_bandwidth += 1
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "net.drop.bandwidth",
+                        t=self.now,
+                        src=src.value,
+                        dst=dst.value,
+                        msg=msg.kind.name,
+                    )
                 return
         delay = self.config.hop_latency_s
         if self.config.hop_latency_jitter_s > 0:
@@ -260,6 +280,14 @@ class OverlayNetwork:
             shaped = self.fault_injector.shape_transmit(src, dst, msg, delay)
             if shaped is None:
                 self.stats.messages_dropped_fault += 1
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "net.drop.fault",
+                        t=self.now,
+                        src=src.value,
+                        dst=dst.value,
+                        msg=msg.kind.name,
+                    )
                 return
             delay = shaped
         self.sim.schedule_in(delay, self._deliver, src, dst, msg)
@@ -281,12 +309,31 @@ class OverlayNetwork:
     def _deliver(self, src: PeerId, dst: PeerId, msg: Message) -> None:
         peer = self.peers[dst]
         if not peer.online:
+            if self.tracer is not None:
+                self.tracer.event(
+                    "net.drop.offline",
+                    t=self.now,
+                    src=src.value,
+                    dst=dst.value,
+                    msg=msg.kind.name,
+                )
             return
         stats = self.stats
         stats.messages_delivered += 1
         stats.bytes_transferred += msg.size_bytes
         counter = self._STATS_COUNTER[msg.kind]
         setattr(stats, counter, getattr(stats, counter) + 1)
+        if self.tracer is not None:
+            self.tracer.event(
+                "net.deliver",
+                t=self.now,
+                src=src.value,
+                dst=dst.value,
+                msg=msg.kind.name,
+                size=msg.size_bytes,
+            )
+        if self.metrics is not None:
+            self.metrics.counter(f"net.messages.{msg.kind.name.lower()}").inc()
         peer.on_message(src, msg)
 
     # ------------------------------------------------------------------
@@ -382,6 +429,35 @@ class OverlayNetwork:
             records.pop(key, None)
         for listener in self.minute_listeners:
             listener(self.minute_index, self.now)
+        if self.metrics is not None:
+            self._observe_minute()
+        if self.tracer is not None:
+            self.tracer.event(
+                "net.minute",
+                t=self.now,
+                minute=self.minute_index,
+                delivered=self.stats.messages_delivered,
+                queue_depth=self.sim.pending_count,
+            )
+
+    def _observe_minute(self) -> None:
+        """Per-sim-minute instrument updates (metrics enabled only)."""
+        import time as _time
+
+        wall = _time.perf_counter()
+        fired = self.sim.events_fired
+        metrics = self.metrics
+        metrics.gauge("sim.queue_depth").set(self.sim.pending_count)
+        metrics.gauge("sim.events_fired").set(fired)
+        if self._minute_wall_last is not None:
+            wall_delta = wall - self._minute_wall_last
+            metrics.timer("sim.minute_wall_s").observe(wall_delta)
+            if wall_delta > 0:
+                metrics.gauge("sim.events_per_s").set(
+                    (fired - self._minute_events_last) / wall_delta
+                )
+        self._minute_wall_last = wall
+        self._minute_events_last = fired
 
     # ------------------------------------------------------------------
     # summaries

@@ -41,7 +41,7 @@ class Simulator:
     [1.0, 5.0]
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0, *, tracer: Any = None) -> None:
         if start_time < 0:
             raise ValueError("start_time must be non-negative")
         self._now = float(start_time)
@@ -51,6 +51,9 @@ class Simulator:
         self._stopped = False
         self._events_fired = 0
         self._cancelled_in_heap = 0
+        #: Optional ``repro.obs.Tracer``; None keeps every dispatch on the
+        #: untraced fast path (a single falsy branch per event).
+        self.tracer = tracer
 
     # -- clock ------------------------------------------------------------
     @property
@@ -119,9 +122,14 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
+        before = len(self._heap)
         self._heap = [e for e in self._heap if e.pending]
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
+        if self.tracer is not None:
+            self.tracer.event(
+                "sim.compact", t=self._now, before=before, after=len(self._heap)
+            )
 
     def _pop_cancelled(self) -> Event:
         """Pop the heap top known to be cancelled, maintaining the counter."""
@@ -138,6 +146,8 @@ class Simulator:
                 continue
             ev = heapq.heappop(self._heap)
             self._now = ev.time
+            if self.tracer is not None:
+                self.tracer.event("sim.dispatch", t=ev.time, tag=ev.tag)
             ev.fire()
             self._events_fired += 1
             return ev
@@ -159,6 +169,7 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired = 0
+        tracer = self.tracer
         try:
             while self._heap and not self._stopped:
                 if max_events is not None and fired >= max_events:
@@ -171,6 +182,8 @@ class Simulator:
                     break
                 heapq.heappop(self._heap)
                 self._now = nxt.time
+                if tracer is not None:
+                    tracer.event("sim.dispatch", t=nxt.time, tag=nxt.tag)
                 nxt.fire()
                 self._events_fired += 1
                 fired += 1

@@ -62,3 +62,65 @@ def test_workers_flag_runs_parallel(capsys):
 
 def test_bad_workers_rejected(capsys):
     assert main(["fig5", "--workers", "-3"]) == 2
+
+
+def test_parser_trace_and_profile_flags():
+    parser = build_parser()
+    args = parser.parse_args(["fig5"])
+    assert args.trace is None and args.profile is False
+    args = parser.parse_args(["fig5", "--trace", "/tmp/t.jsonl", "--profile"])
+    assert args.trace == "/tmp/t.jsonl" and args.profile is True
+
+
+@pytest.mark.slow
+def test_trace_flag_writes_trace_and_manifest(tmp_path, capsys):
+    from repro.obs.manifest import load_manifest, verify_manifest
+    from repro.obs.trace import summarize_trace
+
+    trace = tmp_path / "run.jsonl"
+    assert main(["fig12", "--scale", "smoke", "--trace", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "damage rate" in out
+    assert "trace written" in out
+    summary = summarize_trace(trace)  # validates every record
+    assert summary["kinds"].get("fluid.minute", 0) > 0
+    sidecar = tmp_path / "run.manifest.json"
+    manifest = load_manifest(sidecar)
+    assert manifest["kind"] == "cli-trace"
+    assert manifest["config"]["experiments"] == ["fig12"]
+    assert verify_manifest(manifest)
+
+
+def test_profile_flag_prints_top_functions(capsys):
+    assert main(["fig5", "--scale", "smoke", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "# profile cli.fig5" in out
+    assert "cumulative" in out
+
+
+def test_trace_summarize_subcommand(tmp_path, capsys):
+    from repro.obs.trace import JsonlSink, Tracer
+
+    path = tmp_path / "t.jsonl"
+    tracer = Tracer(sinks=[JsonlSink(path)])
+    tracer.event("net.deliver", t=1.0)
+    tracer.event("net.deliver", t=2.0)
+    tracer.event("police.cut", t=3.0)
+    tracer.close()
+    assert main(["trace", "summarize", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "records: 3" in out
+    assert "net.deliver: 2" in out
+    assert "police.cut: 1" in out
+
+
+def test_trace_summarize_missing_file(tmp_path, capsys):
+    assert main(["trace", "summarize", str(tmp_path / "nope.jsonl")]) == 2
+    assert "trace summarize" in capsys.readouterr().err
+
+
+def test_trace_summarize_invalid_trace(tmp_path, capsys):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"v": 99, "seq": 0, "t": 0, "kind": "x"}\n{}\n')
+    assert main(["trace", "summarize", str(path)]) == 2
+    assert "invalid trace" in capsys.readouterr().err

@@ -57,3 +57,37 @@ def test_format_version_checked(tmp_path):
     path.write_text('{"format": 99, "kind": "minute-rows", "records": []}')
     with pytest.raises(ConfigError):
         load_rows(path)
+
+
+def test_save_with_manifest_sidecar(tmp_path):
+    from repro.obs.manifest import build_manifest, load_manifest, verify_manifest
+
+    cfg = FluidConfig(n=200, seed=2, churn_warmup_min=2)
+    sim = FluidSimulation(cfg)
+    rows = sim.run(2)
+    manifest = build_manifest(kind="minute-rows", config=cfg, seed=2)
+    path = save_rows(tmp_path / "run.json", rows, manifest=manifest)
+    sidecar = tmp_path / "run.manifest.json"
+    assert verify_manifest(load_manifest(sidecar), config=cfg)
+    assert load_rows(path) == rows
+
+
+def test_save_is_atomic(tmp_path, monkeypatch):
+    """A crashed save leaves the previous file intact, never a truncation."""
+    import os
+
+    sim = FluidSimulation(FluidConfig(n=200, seed=2, churn_warmup_min=2))
+    rows = sim.run(2)
+    path = save_rows(tmp_path / "run.json", rows)
+    original = path.read_bytes()
+
+    def boom(*a, **k):
+        raise OSError("simulated crash at rename")
+
+    monkeypatch.setattr(os, "replace", boom)
+    with pytest.raises(OSError):
+        save_rows(path, rows + rows)
+    monkeypatch.undo()
+    assert path.read_bytes() == original  # old artifact untouched
+    assert [p.name for p in tmp_path.iterdir()] == ["run.json"]  # no temp litter
+    assert load_rows(path) == rows

@@ -1,0 +1,126 @@
+"""Manifests: canonical hashing, sidecars, verification, atomic writes."""
+
+import json
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fluid.model import FluidConfig
+from repro.obs.manifest import (
+    atomic_write_text,
+    build_manifest,
+    config_sha256,
+    jsonable_config,
+    load_manifest,
+    sidecar_path,
+    verify_manifest,
+    write_manifest,
+)
+
+
+@dataclass(frozen=True)
+class _Cfg:
+    n: int = 10
+    tags: tuple = ("a", "b")
+
+
+def test_atomic_write_text(tmp_path):
+    target = tmp_path / "out.txt"
+    atomic_write_text(target, "hello")
+    assert target.read_text(encoding="utf-8") == "hello"
+    # overwrite leaves no temp litter
+    atomic_write_text(target, "world")
+    assert target.read_text(encoding="utf-8") == "world"
+    assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+def test_atomic_write_cleans_up_on_failure(tmp_path, monkeypatch):
+    target = tmp_path / "out.txt"
+
+    def boom(*a, **k):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(os, "replace", boom)
+    with pytest.raises(OSError):
+        atomic_write_text(target, "x")
+    assert list(tmp_path.iterdir()) == []  # temp file removed
+
+
+def test_jsonable_config_canonicalizes():
+    out = jsonable_config({"s": {3, 1, 2}, "t": (1, 2), "cfg": _Cfg()})
+    assert out == {"s": [1, 2, 3], "t": [1, 2], "cfg": {"n": 10, "tags": ["a", "b"]}}
+    with pytest.raises(ConfigError):
+        jsonable_config(object())
+
+
+def test_config_sha256_stable_across_equal_configs():
+    assert config_sha256(_Cfg()) == config_sha256(_Cfg())
+    assert config_sha256(_Cfg()) != config_sha256(_Cfg(n=11))
+    # a real simulator config hashes too (nested dataclasses, enums)
+    assert len(config_sha256(FluidConfig(n=50))) == 64
+
+
+def test_manifest_roundtrip(tmp_path):
+    cfg = FluidConfig(n=50, seed=3)
+    manifest = build_manifest(
+        kind="test-run",
+        config=cfg,
+        seed=3,
+        seed_derivation=["trial", "<t>"],
+        workers=2,
+        tasks=4,
+        duration_s=1.5,
+        counters={"events": 10},
+        extra={"note": "hi"},
+    )
+    artifact = tmp_path / "table.txt"
+    sidecar = write_manifest(artifact, manifest)
+    assert sidecar == tmp_path / "table.manifest.json"
+    loaded = load_manifest(sidecar)
+    assert loaded["kind"] == "test-run"
+    assert loaded["seed"] == 3
+    assert loaded["workers"] == 2
+    assert loaded["counters"] == {"events": 10}
+    assert loaded["environment"]["python"]
+    # verification: self-consistent AND describes this live config
+    assert verify_manifest(loaded)
+    assert verify_manifest(sidecar, config=cfg)
+
+
+def test_verify_detects_tampered_config(tmp_path):
+    manifest = build_manifest(kind="k", config=_Cfg())
+    manifest["config"]["n"] = 999  # post-hoc edit
+    with pytest.raises(ConfigError, match="hash mismatch"):
+        verify_manifest(manifest)
+
+
+def test_verify_detects_wrong_live_config():
+    manifest = build_manifest(kind="k", config=_Cfg(n=10))
+    with pytest.raises(ConfigError, match="does not describe"):
+        verify_manifest(manifest, config=_Cfg(n=11))
+
+
+def test_verify_requires_embedded_config():
+    with pytest.raises(ConfigError, match="no embedded config"):
+        verify_manifest(build_manifest(kind="k"))
+
+
+def test_load_rejects_unknown_version(tmp_path):
+    path = tmp_path / "m.manifest.json"
+    path.write_text(json.dumps({"manifest_version": 99}), encoding="utf-8")
+    with pytest.raises(ConfigError, match="version"):
+        load_manifest(path)
+
+
+def test_sidecar_path_forms():
+    assert str(sidecar_path("results/scaling.txt")).endswith(
+        "results/scaling.manifest.json"
+    )
+    assert str(sidecar_path("trace")).endswith("trace.manifest.json")
+
+
+def test_build_manifest_requires_kind():
+    with pytest.raises(ConfigError):
+        build_manifest(kind="")

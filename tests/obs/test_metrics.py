@@ -1,0 +1,94 @@
+"""MetricsRegistry: instruments, snapshots, Prometheus export."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry, global_registry
+
+
+def test_counter_memoized_and_monotone():
+    reg = MetricsRegistry()
+    reg.counter("net.messages.query").inc(3)
+    reg.counter("net.messages.query").inc()
+    assert reg.counter("net.messages.query").value == 4
+    with pytest.raises(ConfigError):
+        reg.counter("net.messages.query").inc(-1)
+
+
+def test_gauge_keeps_last_value():
+    reg = MetricsRegistry()
+    g = reg.gauge("sim.queue_depth")
+    g.set(10)
+    g.set(7)
+    assert g.value == 7.0
+
+
+def test_timer_summary_statistics():
+    reg = MetricsRegistry()
+    t = reg.timer("sim.minute_wall_s")
+    for s in (0.1, 0.3, 0.2):
+        t.observe(s)
+    assert t.count == 3
+    assert t.total_s == pytest.approx(0.6)
+    assert t.mean_s == pytest.approx(0.2)
+    assert t.min_s == pytest.approx(0.1)
+    assert t.max_s == pytest.approx(0.3)
+    with pytest.raises(ConfigError):
+        t.observe(-1.0)
+
+
+def test_timer_time_context_manager():
+    reg = MetricsRegistry()
+    t = reg.timer("x")
+    with t.time():
+        pass
+    assert t.count == 1
+    assert t.max_s >= 0.0
+
+
+def test_bad_names_rejected():
+    reg = MetricsRegistry()
+    for bad in ("", "1abc", "a b", "a-b"):
+        with pytest.raises(ConfigError):
+            reg.counter(bad)
+
+
+def test_snapshot_shape():
+    reg = MetricsRegistry()
+    reg.counter("c").inc(2)
+    reg.gauge("g").set(1.5)
+    reg.timer("t").observe(0.5)
+    snap = reg.snapshot()
+    assert snap["counters"] == {"c": 2}
+    assert snap["gauges"] == {"g": 1.5}
+    assert snap["timers"]["t"]["count"] == 1
+    assert snap["timers"]["t"]["mean_s"] == pytest.approx(0.5)
+    # empty timer reports min as None, not inf (JSON-safe)
+    reg.timer("empty")
+    assert reg.snapshot()["timers"]["empty"]["min_s"] is None
+
+
+def test_reset_drops_instruments():
+    reg = MetricsRegistry()
+    reg.counter("c").inc()
+    reg.reset()
+    assert reg.snapshot() == {"counters": {}, "gauges": {}, "timers": {}}
+
+
+def test_prometheus_export():
+    reg = MetricsRegistry()
+    reg.counter("net.messages.query").inc(5)
+    reg.gauge("sim.queue_depth").set(3)
+    reg.timer("sim.minute_wall_s").observe(0.25)
+    text = reg.to_prometheus()
+    assert "# TYPE repro_net_messages_query counter" in text
+    assert "repro_net_messages_query 5" in text
+    assert "repro_sim_queue_depth 3" in text
+    assert "repro_sim_minute_wall_s_count 1" in text
+    assert "repro_sim_minute_wall_s_sum 0.25" in text
+    assert text.endswith("\n")
+    assert MetricsRegistry().to_prometheus() == ""
+
+
+def test_global_registry_is_singleton():
+    assert global_registry() is global_registry()

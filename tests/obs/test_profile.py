@@ -1,0 +1,56 @@
+"""Profiler scopes: wall time always, cProfile extracts on request."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.profile import Profiler
+
+
+def test_scope_records_wall_time_and_labels():
+    prof = Profiler()
+    with prof.scope("des.run", n=100, seed=7):
+        pass
+    (report,) = prof.reports
+    assert report["scope"] == "des.run"
+    assert report["wall_s"] >= 0.0
+    assert report["n"] == 100 and report["seed"] == 7
+    assert "profile_top" not in report
+
+
+def test_scope_reports_even_when_block_raises():
+    prof = Profiler()
+    with pytest.raises(ValueError):
+        with prof.scope("exec.chunk"):
+            raise ValueError("boom")
+    assert prof.reports[0]["scope"] == "exec.chunk"
+
+
+def test_cprofile_top_rows():
+    prof = Profiler(cprofile=True, top=5)
+
+    def busy():
+        return sum(range(1000))
+
+    with prof.scope("fluid.run"):
+        busy()
+    report = prof.reports[0]
+    assert "profile_top" in report
+    assert "cumulative" in report["profile_top"]
+
+
+def test_reports_are_jsonable():
+    prof = Profiler(cprofile=True, top=3)
+    with prof.scope("x", label="a"):
+        pass
+    json.dumps(prof.dump())  # must not raise
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        Profiler(top=0)
+    prof = Profiler()
+    with pytest.raises(ConfigError):
+        with prof.scope(""):
+            pass

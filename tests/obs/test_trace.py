@@ -1,0 +1,181 @@
+"""Tracer, ring buffer, sinks, and the JSONL read-back path."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.trace import (
+    SCHEMA_VERSION,
+    JsonlSink,
+    MemorySink,
+    Tracer,
+    iter_records,
+    summarize_trace,
+    validate_record,
+)
+
+
+def test_event_record_shape():
+    tracer = Tracer(run="r1")
+    rec = tracer.event("net.deliver", t=1.5, src=0, dst=3)
+    assert rec == {
+        "v": SCHEMA_VERSION,
+        "seq": 0,
+        "t": 1.5,
+        "kind": "net.deliver",
+        "run": "r1",
+        "src": 0,
+        "dst": 3,
+    }
+    validate_record(rec)
+
+
+def test_sequence_numbers_are_monotone():
+    tracer = Tracer()
+    seqs = [tracer.event("a", t=0.0)["seq"] for _ in range(5)]
+    assert seqs == [0, 1, 2, 3, 4]
+    assert tracer.emitted == 5
+
+
+def test_ring_buffer_bounds_memory():
+    tracer = Tracer(ring_size=3)
+    for i in range(10):
+        tracer.event("sim.dispatch", t=float(i))
+    recent = tracer.recent()
+    assert len(recent) == 3
+    assert [r["t"] for r in recent] == [7.0, 8.0, 9.0]
+    assert tracer.emitted == 10  # ring truncation never loses the count
+
+
+def test_ring_size_validated():
+    with pytest.raises(ConfigError):
+        Tracer(ring_size=0)
+
+
+def test_span_emits_duration_on_exit():
+    tracer = Tracer()
+    with tracer.span("fluid.minute", t=60.0, minute=1) as rec:
+        rec["online"] = 42
+    (emitted,) = tracer.recent()
+    assert emitted["dur_s"] >= 0.0
+    assert emitted["online"] == 42
+    validate_record(emitted)
+
+
+def test_reserved_keys_rejected():
+    tracer = Tracer()
+    with pytest.raises(ConfigError, match="reserved"):
+        tracer.event("a", t=0.0, seq=9)
+
+
+def test_non_scalar_fields_rejected_by_validation():
+    base = {"v": SCHEMA_VERSION, "seq": 0, "t": 0.0, "kind": "a"}
+    with pytest.raises(ConfigError, match="scalar"):
+        validate_record({**base, "payload": {"nested": 1}})
+    with pytest.raises(ConfigError, match="flatten"):
+        validate_record({**base, "items": [{"nested": 1}]})
+
+
+def test_counts_by_kind():
+    tracer = Tracer()
+    for _ in range(3):
+        tracer.event("x", t=0.0)
+    tracer.event("y", t=0.0)
+    assert tracer.counts_by_kind() == {"x": 3, "y": 1}
+
+
+def test_memory_sink_receives_every_record():
+    sink = MemorySink()
+    tracer = Tracer(sinks=[sink])
+    tracer.event("a", t=0.0)
+    tracer.event("b", t=1.0)
+    tracer.close()
+    assert [r["kind"] for r in sink.records] == ["a", "b"]
+    assert sink.closed
+
+
+def test_jsonl_sink_roundtrip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tracer = Tracer(sinks=[JsonlSink(path)])
+    tracer.event("net.deliver", t=2.0, src=1)
+    tracer.event("net.drop.fault", t=3.0, src=1, dst=2)
+    tracer.close()
+    records = list(iter_records(path))
+    assert [r["kind"] for r in records] == ["net.deliver", "net.drop.fault"]
+    for rec in records:
+        validate_record(rec)
+
+
+def test_jsonl_sink_rotation(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    sink = JsonlSink(path, max_bytes=200, backups=2)
+    tracer = Tracer(sinks=[sink])
+    for i in range(40):
+        tracer.event("sim.dispatch", t=float(i))
+    tracer.close()
+    assert path.exists()
+    assert path.stat().st_size <= 200
+    backup1 = tmp_path / "trace.jsonl.1"
+    backup2 = tmp_path / "trace.jsonl.2"
+    assert backup1.exists() and backup2.exists()
+    # no backup beyond the configured limit
+    assert not (tmp_path / "trace.jsonl.3").exists()
+    # every surviving file is valid JSONL
+    for f in (path, backup1, backup2):
+        for rec in iter_records(f):
+            validate_record(rec)
+
+
+def test_jsonl_sink_zero_backups_truncates(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tracer = Tracer(sinks=[JsonlSink(path, max_bytes=150, backups=0)])
+    for i in range(30):
+        tracer.event("sim.dispatch", t=float(i))
+    tracer.close()
+    assert path.stat().st_size <= 150
+    assert not (tmp_path / "trace.jsonl.1").exists()
+
+
+def test_iter_records_skips_truncated_tail(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    good = json.dumps({"v": 1, "seq": 0, "t": 0.0, "kind": "a"})
+    path.write_text(good + "\n" + '{"v": 1, "seq": 1, "t"', encoding="utf-8")
+    assert [r["seq"] for r in iter_records(path)] == [0]
+
+
+def test_iter_records_rejects_mid_file_corruption(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    good = json.dumps({"v": 1, "seq": 0, "t": 0.0, "kind": "a"})
+    path.write_text("not json\n" + good + "\n", encoding="utf-8")
+    with pytest.raises(ConfigError, match="malformed"):
+        list(iter_records(path))
+
+
+def test_summarize_trace(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tracer = Tracer(sinks=[JsonlSink(path)])
+    tracer.event("x", t=5.0)
+    tracer.event("x", t=15.0)
+    tracer.event("y", t=10.0)
+    tracer.close()
+    summary = summarize_trace(path)
+    assert summary == {
+        "records": 3,
+        "t_min": 5.0,
+        "t_max": 15.0,
+        "kinds": {"x": 2, "y": 1},
+    }
+
+
+def test_validate_record_rejects_bad_version_and_fields():
+    with pytest.raises(ConfigError, match="schema version"):
+        validate_record({"v": 99, "seq": 0, "t": 0.0, "kind": "a"})
+    with pytest.raises(ConfigError, match="seq"):
+        validate_record({"v": SCHEMA_VERSION, "seq": -1, "t": 0.0, "kind": "a"})
+    with pytest.raises(ConfigError, match="kind"):
+        validate_record({"v": SCHEMA_VERSION, "seq": 0, "t": 0.0, "kind": ""})
+    with pytest.raises(ConfigError, match="dur_s"):
+        validate_record(
+            {"v": SCHEMA_VERSION, "seq": 0, "t": 0.0, "kind": "a", "dur_s": -1}
+        )

@@ -164,3 +164,84 @@ def test_parallel_worker_crash_is_typed():
 def test_parallel_timeout_is_typed():
     with pytest.raises(TaskTimeoutError, match="pmap exceeded"):
         pmap(_sleep_task, [2.0, 2.0], workers=2, chunk_size=1, timeout_s=0.3)
+
+
+# ---------------------------------------------------------------------------
+# progress-hook robustness
+# ---------------------------------------------------------------------------
+
+def _broken_hook(done, total):
+    raise RuntimeError("observer exploded")
+
+
+def test_broken_progress_hook_does_not_kill_the_sweep():
+    from repro.obs.metrics import global_registry
+
+    before = global_registry().counter("exec.progress_hook_errors").value
+    stats = ExecStats()
+    with pytest.warns(RuntimeWarning, match="progress hook raised"):
+        out = pmap(_square, [1, 2, 3], workers=1, on_progress=_broken_hook,
+                   stats=stats)
+    # results are untouched; every failure is counted, warned only once
+    assert out == [1, 4, 9]
+    assert stats.hook_errors == 3
+    assert global_registry().counter("exec.progress_hook_errors").value == before + 3
+
+
+def test_broken_progress_hook_parallel_path():
+    stats = ExecStats()
+    with pytest.warns(RuntimeWarning):
+        out = pmap(_square, [1, 2, 3, 4], workers=2, chunk_size=2,
+                   on_progress=_broken_hook, stats=stats)
+    assert out == [1, 4, 9, 16]
+    assert stats.hook_errors == 2  # one per completed chunk
+
+
+def test_intermittent_hook_failure_keeps_reporting():
+    calls = []
+
+    def flaky(done, total):
+        calls.append((done, total))
+        if done == 2:
+            raise ValueError("only the second call fails")
+
+    stats = ExecStats()
+    with pytest.warns(RuntimeWarning):
+        pmap(_square, [1, 2, 3], workers=1, on_progress=flaky, stats=stats)
+    assert calls == [(1, 3), (2, 3), (3, 3)]  # hook still invoked after failing
+    assert stats.hook_errors == 1
+
+
+# ---------------------------------------------------------------------------
+# worker profiling
+# ---------------------------------------------------------------------------
+
+def test_serial_profile_reports():
+    stats = ExecStats()
+    out = pmap(_square, [1, 2, 3], workers=1, stats=stats, profile=True)
+    assert out == [1, 4, 9]
+    (report,) = stats.worker_profiles
+    assert report["scope"] == "exec.chunk"
+    assert report["tasks"] == 3
+    assert "profile_top" in report
+
+
+def test_parallel_profile_ships_reports_back():
+    stats = ExecStats()
+    out = pmap(
+        _square, list(range(6)), workers=2, chunk_size=3, stats=stats,
+        profile=True, profile_top=5,
+    )
+    assert out == [t * t for t in range(6)]
+    assert len(stats.worker_profiles) == 2
+    assert sorted(r["first_task"] for r in stats.worker_profiles) == [0, 3]
+    for report in stats.worker_profiles:
+        assert report["tasks"] == 3
+        assert "cumulative" in report["profile_top"]
+
+
+def test_profile_off_means_no_reports():
+    stats = ExecStats()
+    pmap(_square, [1, 2], workers=1, stats=stats)
+    assert stats.worker_profiles == []
+    assert stats.hook_errors == 0
