@@ -8,26 +8,37 @@ false negatives (good forwarders cut). The hardened profile (bounded
 retries + report quorum with one window extension + neighbor-list
 retransmission, all off by default) recovers most of them while leaving
 the fault-free behavior untouched.
+
+The sweep itself is the registered ``fault-sweep`` spec
+(:mod:`repro.experiments.library`); this module publishes its table and
+asserts the robustness claims against its points.
 """
+
+import os
 
 import pytest
 
 from benchmarks.conftest import publish
-from repro.experiments.scenarios import fault_sweep_spec
-from repro.experiments.sweeps import fault_sweep, format_fault_sweep
-from repro.obs.manifest import build_manifest
+from repro.experiments.library import run_spec
+from repro.experiments.sweeps import fault_sweep
 
-SEED = 23
-
-
-@pytest.fixture(scope="module")
-def spec():
-    return fault_sweep_spec()
+SEED = 23  # the registered fault-sweep spec's seed
 
 
 @pytest.fixture(scope="module")
-def points(spec):
-    return fault_sweep(spec, seed0=SEED)
+def run():
+    scale_name = os.environ.get("REPRO_SCALE", "bench").lower()
+    return run_spec("fault-sweep", scale=scale_name)
+
+
+@pytest.fixture(scope="module")
+def spec(run):
+    return run.spec.faults
+
+
+@pytest.fixture(scope="module")
+def points(run):
+    return run.data
 
 
 def _total_fn(points, profile, min_loss):
@@ -38,16 +49,9 @@ def _total_fn(points, profile, min_loss):
     )
 
 
-def test_fault_sweep_table(results_dir, spec, points):
-    text = format_fault_sweep(spec, points)
-    manifest = build_manifest(
-        kind="bench-fault-sweep",
-        config=spec,
-        seed=SEED,
-        seed_derivation=["trial", "<t>"],
-        tasks=len(points),
-    )
-    publish(results_dir, "fault_sweep", text, manifest=manifest)
+def test_fault_sweep_table(results_dir, run, spec, points):
+    assert run.spec.seed == SEED
+    publish(results_dir, "fault_sweep", run.tables["fault_sweep"], manifest=run.manifest)
     assert len(points) == (
         len(spec.loss_fractions) * len(spec.crash_counts) * 2
     )

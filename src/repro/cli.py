@@ -1,6 +1,6 @@
 """Command-line interface: regenerate the paper's experiments.
 
-Installed as ``repro-experiments``::
+Installed as ``repro-experiments`` (alias: ``repro``)::
 
     repro-experiments list
     repro-experiments fig9 fig10 fig11          # shared sweep, run once
@@ -8,6 +8,14 @@ Installed as ``repro-experiments``::
     repro-experiments all --scale bench --workers 4
     repro-experiments fig12 --scale smoke --trace /tmp/run.jsonl --profile
     repro-experiments trace summarize /tmp/run.jsonl
+
+The generic spec runner exposes every registered experiment spec with
+dotted-path config overrides (see docs/EXPERIMENTS.md)::
+
+    repro run --list
+    repro run fig9 --backend des --scale smoke
+    repro run fig13 --set police.cut_threshold=7 --set scale.n_peers=500
+    repro run fault-sweep --set faults.trials=1 --out /tmp/tables
 """
 
 from __future__ import annotations
@@ -16,175 +24,64 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.exec import resolve_workers
-from repro.experiments import figures
-from repro.experiments.reporting import render_table, render_timelines
-from repro.experiments.scenarios import (
-    Scale,
-    bench_scale,
-    paper_scale,
-    smoke_scale,
+from repro.experiments.library import run_spec
+from repro.experiments.reporting import render_timelines
+from repro.experiments.spec import (
+    list_backends,
+    list_specs,
+    override_paths,
+    parse_assignments,
 )
 from repro.obs.config import ObsConfig
-from repro.obs.manifest import build_manifest, write_manifest
+from repro.obs.manifest import atomic_write_text, build_manifest, write_manifest
 from repro.obs.profile import Profiler
 from repro.obs.trace import summarize_trace
 
-_SCALES = {"bench": bench_scale, "paper": paper_scale, "smoke": smoke_scale}
+_SCALES: Tuple[str, ...] = ("bench", "paper", "smoke")
 
-#: Experiment runner signature: (scale, workers, obs) -> rendered text.
-Runner = Callable[[Scale, Optional[int], Optional[ObsConfig]], str]
-
-
-def _run_fig5(
-    scale: Scale, workers: Optional[int], obs: Optional[ObsConfig]
-) -> str:
-    pts = figures.fig5_processed_vs_sent()
-    return render_table(
-        ["sent (q/min)", "processed (q/min)"],
-        [[int(x), int(y)] for x, y in pts],
-        title="Figure 5",
-    )
-
-
-def _run_fig6(
-    scale: Scale, workers: Optional[int], obs: Optional[ObsConfig]
-) -> str:
-    pts = figures.fig6_drop_rate_vs_density()
-    return render_table(
-        ["received (q/min)", "drop rate (%)"],
-        [[int(x), round(y, 1)] for x, y in pts],
-        title="Figure 6",
-    )
-
-
-#: fig9/10/11 share one sweep; cache it per (scale, obs) so asking for all
-#: three runs the simulations once. Obs is part of the key: a traced sweep
-#: must not satisfy an untraced request (or vice versa).
-_SWEEP_CACHE: Dict[
-    Tuple[str, Optional[ObsConfig]], List[figures.AgentSweepRow]
-] = {}
-
-
-def _agent_sweep(
-    scale: Scale, workers: Optional[int], obs: Optional[ObsConfig]
-) -> List[figures.AgentSweepRow]:
-    key = (scale.name, obs)
-    if key not in _SWEEP_CACHE:
-        _SWEEP_CACHE[key] = figures.agent_sweep(
-            scale, seed=7, workers=workers, obs=obs
-        )
-    return _SWEEP_CACHE[key]
-
-
-def _run_fig9(
-    scale: Scale, workers: Optional[int], obs: Optional[ObsConfig]
-) -> str:
-    rows = figures.fig9_traffic_cost(_agent_sweep(scale, workers, obs))
-    return render_table(
-        ["agents", "under DDoS", "with DD-POLICE", "no DDoS"],
-        [[a, round(x, 1), round(y, 1), round(z, 1)] for a, x, y, z in rows],
-        title="Figure 9: traffic cost (k msgs/min)",
-    )
-
-
-def _run_fig10(
-    scale: Scale, workers: Optional[int], obs: Optional[ObsConfig]
-) -> str:
-    rows = figures.fig10_response_time(_agent_sweep(scale, workers, obs))
-    return render_table(
-        ["agents", "under DDoS", "with DD-POLICE", "no DDoS"],
-        [[a, round(x, 3), round(y, 3), round(z, 3)] for a, x, y, z in rows],
-        title="Figure 10: response time (s)",
-    )
-
-
-def _run_fig11(
-    scale: Scale, workers: Optional[int], obs: Optional[ObsConfig]
-) -> str:
-    rows = figures.fig11_success_rate(_agent_sweep(scale, workers, obs))
-    return render_table(
-        ["agents", "under DDoS", "with DD-POLICE", "no DDoS"],
-        [[a, round(x, 1), round(y, 1), round(z, 1)] for a, x, y, z in rows],
-        title="Figure 11: success rate (%)",
-    )
-
-
-def _run_fig12(
-    scale: Scale, workers: Optional[int], obs: Optional[ObsConfig]
-) -> str:
-    timelines = figures.damage_timelines(scale, seed=11, workers=workers, obs=obs)
-    header = ["minute"] + [t.label for t in timelines]
-    rows = []
-    for i, minute in enumerate(timelines[0].minutes):
-        rows.append([minute] + [round(t.damage_pct[i], 1) for t in timelines])
-    table = render_table(header, rows, title="Figure 12: damage rate (%)")
-    sparks = render_timelines(
-        [t.label for t in timelines],
-        [t.damage_pct for t in timelines],
-        title="damage over time (0..100%)",
-        hi=100.0,
-    )
-    return table + "\n\n" + sparks
-
-
-def _run_fig13(
-    scale: Scale, workers: Optional[int], obs: Optional[ObsConfig]
-) -> str:
-    rows = figures.fig13_errors(
-        figures.cut_threshold_sweep(scale, seed=13, workers=workers, obs=obs)
-    )
-    return render_table(
-        ["CT", "false judgment", "false positive", "false negative"],
-        rows,
-        title="Figure 13: errors vs cut threshold",
-    )
-
-
-def _run_fig14(
-    scale: Scale, workers: Optional[int], obs: Optional[ObsConfig]
-) -> str:
-    import math
-
-    rows = figures.fig14_recovery(
-        figures.cut_threshold_sweep(scale, seed=13, workers=workers, obs=obs)
-    )
-    return render_table(
-        ["CT", "recovery (min)"],
-        [[ct, ("n/a" if math.isnan(v) else round(v, 1))] for ct, v in rows],
-        title="Figure 14: damage recovery time",
-    )
-
-
-def _run_exchange(
-    scale: Scale, workers: Optional[int], obs: Optional[ObsConfig]
-) -> str:
-    rows = figures.exchange_frequency_study(scale, seed=17, obs=obs)
-    return render_table(
-        ["policy", "false judgment", "overhead (k/min)", "damage (%)"],
-        [
-            [r.policy, r.false_judgment, round(r.control_overhead_kqpm, 2),
-             round(r.stabilized_damage_pct, 1)]
-            for r in rows
-        ],
-        title="Section 3.7.1: exchange frequency",
-    )
-
-
-EXPERIMENTS: Dict[str, Runner] = {
-    "fig5": _run_fig5,
-    "fig6": _run_fig6,
-    "fig9": _run_fig9,
-    "fig10": _run_fig10,
-    "fig11": _run_fig11,
-    "fig12": _run_fig12,
-    "fig13": _run_fig13,
-    "fig14": _run_fig14,
-    "exchange": _run_exchange,
+#: Figure-style CLI ids -> registered spec names (the legacy interface;
+#: `repro run` exposes the full registry including fig12-stabilized and
+#: fault-sweep).
+EXPERIMENTS: Dict[str, str] = {
+    "fig5": "fig5",
+    "fig6": "fig6",
+    "fig9": "fig9",
+    "fig10": "fig10",
+    "fig11": "fig11",
+    "fig12": "fig12",
+    "fig13": "fig13",
+    "fig14": "fig14",
+    "exchange": "exchange",
 }
+
+
+def _render_run(run) -> str:
+    """Tables of one executed spec, plus sparklines for the timelines."""
+    parts = [run.tables[t] for t in run.tables]
+    if run.spec.scenario == "damage-timelines":
+        parts.append(
+            render_timelines(
+                [t.label for t in run.data],
+                [t.damage_pct for t in run.data],
+                title="damage over time (0..100%)",
+                hi=100.0,
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def _run_experiment(
+    name: str,
+    scale: str,
+    workers: Optional[int],
+    obs: Optional[ObsConfig],
+) -> str:
+    run = run_spec(EXPERIMENTS[name], scale=scale, workers=workers, obs=obs)
+    return _render_run(run)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -258,17 +155,128 @@ def _trace_command(argv: Sequence[str]) -> int:
     return 0
 
 
+def _run_command(argv: Sequence[str]) -> int:
+    """``repro-experiments run <spec> [--set dotted.path=value ...]``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments run",
+        description="Run registered experiment specs with config overrides.",
+    )
+    parser.add_argument(
+        "specs", nargs="*", help="registered spec names (see --list)"
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_specs",
+        help="list every registered spec and exit",
+    )
+    parser.add_argument(
+        "--paths",
+        action="store_true",
+        help="list every valid --set override path and exit",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=[b.name for b in list_backends()],
+        default=None,
+        help="execution engine override (default: the spec's backend)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default=None,
+        help="re-target the spec at a named scale before overrides",
+    )
+    parser.add_argument(
+        "--set",
+        dest="assignments",
+        action="append",
+        default=[],
+        metavar="PATH=VALUE",
+        help="dotted-path config override, e.g. police.cut_threshold=7 "
+        "or scale.n_peers=500 (repeatable; see --paths)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (results are bit-identical for any value)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="also write each table to DIR/<table>.txt with a "
+        ".manifest.json sidecar embedding the spec and its SHA-256",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_specs:
+        for spec in list_specs():
+            print(
+                f"{spec.name:<17} scenario={spec.scenario:<20} "
+                f"backend={spec.backend:<5} {spec.title}"
+            )
+        return 0
+    if args.paths:
+        for path in override_paths():
+            print(path)
+        return 0
+    if not args.specs:
+        print("run: no specs given (try --list)", file=sys.stderr)
+        return 2
+
+    try:
+        overrides = parse_assignments(args.assignments)
+    except ConfigError as exc:
+        print(f"run: {exc}", file=sys.stderr)
+        return 2
+
+    out_dir = Path(args.out) if args.out is not None else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    for name in args.specs:
+        try:
+            run = run_spec(
+                name,
+                scale=args.scale,
+                backend=args.backend,
+                overrides=overrides,
+                workers=args.workers,
+            )
+        except ConfigError as exc:
+            print(f"run: {exc}", file=sys.stderr)
+            return 2
+        print(_render_run(run))
+        print()
+        print(
+            f"# spec {run.spec.name} sha256={run.sha256[:12]} "
+            f"cases={run.cases} wall={run.duration_s:.2f}s"
+        )
+        if out_dir is not None:
+            for table, text in run.tables.items():
+                artifact = out_dir / f"{table}.txt"
+                atomic_write_text(artifact, text + "\n")
+                sidecar = write_manifest(artifact, run.manifest)
+                print(f"# wrote {artifact} (manifest: {sidecar})")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "trace":
         return _trace_command(argv[1:])
+    if argv and argv[0] == "run":
+        return _run_command(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiments == ["list"]:
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
-    wanted = (
+    wanted: List[str] = (
         sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
     )
     unknown = [e for e in wanted if e not in EXPERIMENTS]
@@ -276,7 +284,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
         return 2
-    scale = _SCALES[args.scale]()
     try:
         workers = resolve_workers(args.workers)
     except ConfigError as exc:
@@ -306,9 +313,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for name in wanted:
         if profiler is not None:
             with profiler.scope(f"cli.{name}"):
-                out = EXPERIMENTS[name](scale, workers, obs)
+                out = _run_experiment(name, args.scale, workers, obs)
         else:
-            out = EXPERIMENTS[name](scale, workers, obs)
+            out = _run_experiment(name, args.scale, workers, obs)
         print(out)
         print()
         if profiler is not None:

@@ -45,6 +45,13 @@ class NeighborListDirectory:
 
     def __init__(self) -> None:
         self._lists: Dict[Hashable, ListSnapshot] = {}
+        #: Reverse index: peer -> owners whose stored list claims it.
+        #: Makes the per-list consistency cross-check O(claimers) instead
+        #: of O(directory); behavior-identical because :meth:`claimers`
+        #: replays the owners in ``_lists`` insertion order (``_seq``).
+        self._claimed_by: Dict[Hashable, Set[Hashable]] = {}
+        self._seq: Dict[Hashable, int] = {}
+        self._next_seq = 0
 
     def update(
         self,
@@ -61,20 +68,35 @@ class NeighborListDirectory:
         earlier -- i.e. the network reordered (or duplicated-with-delay)
         the exchanges. Equal stamps overwrite idempotently.
         """
+        held = self._lists.get(owner)
         if sent_at is not None:
-            held = self._lists.get(owner)
             if held is not None and held.sent_at is not None and sent_at < held.sent_at:
                 return False
+        new = frozenset(neighbors)
+        old = held.neighbors if held is not None else frozenset()
+        for peer in old - new:
+            self._claimed_by[peer].discard(owner)
+        for peer in new - old:
+            self._claimed_by.setdefault(peer, set()).add(owner)
+        if held is None:
+            # Mirrors dict key semantics: overwriting keeps the original
+            # position, so the sequence number is assigned once.
+            self._seq[owner] = self._next_seq
+            self._next_seq += 1
         self._lists[owner] = ListSnapshot(
             owner=owner,
-            neighbors=frozenset(neighbors),
+            neighbors=new,
             received_at=now,
             sent_at=sent_at,
         )
         return True
 
     def forget(self, owner: Hashable) -> None:
-        self._lists.pop(owner, None)
+        snap = self._lists.pop(owner, None)
+        if snap is not None:
+            for peer in snap.neighbors:
+                self._claimed_by[peer].discard(owner)
+            del self._seq[owner]
 
     def get(self, owner: Hashable) -> Optional[ListSnapshot]:
         return self._lists.get(owner)
@@ -89,6 +111,18 @@ class NeighborListDirectory:
 
     def owners(self) -> List[Hashable]:
         return list(self._lists.keys())
+
+    def claimers(self, peer: Hashable) -> List[Hashable]:
+        """Owners whose stored list contains ``peer``.
+
+        Returned in ``_lists`` insertion order -- exactly the owners an
+        :meth:`owners` scan filtered on membership would yield, so
+        consumers switching to this index see identical iteration order.
+        """
+        found = self._claimed_by.get(peer)
+        if not found:
+            return []
+        return sorted(found, key=self._seq.__getitem__)
 
     # ------------------------------------------------------------------
     def find_inconsistencies(self) -> List[Tuple[Hashable, Hashable]]:

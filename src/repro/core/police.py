@@ -250,12 +250,13 @@ class DDPoliceEngine:
             else:
                 self.consistency.observe_consistent(owner, other)
         # Reverse direction: peers whose stored lists claim `owner` but
-        # owner's fresh list does not reciprocate.
-        for peer in self.directory.owners():
+        # owner's fresh list does not reciprocate. The reverse index
+        # yields the same owners (in the same order) a full directory
+        # scan filtered on membership would.
+        for peer in self.directory.claimers(owner):
             if peer == owner:
                 continue
-            snap = self.directory.get(peer)
-            if not fresh(snap) or owner not in snap.neighbors:
+            if not fresh(self.directory.get(peer)):
                 continue
             if peer not in claimed:
                 self._strike_pair(peer, owner)

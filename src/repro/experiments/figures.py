@@ -1,33 +1,46 @@
-"""Per-figure reproduction functions.
+"""Per-figure reproduction functions (thin shims over the spec layer).
 
 Each ``figN_*`` function regenerates the data behind one figure of the
-paper's evaluation and returns structured rows; the benchmarks print them
-as tables. See DESIGN.md section 2 for the full index.
+paper's evaluation and returns structured rows; the benchmarks print
+them as tables. See DESIGN.md section 2 for the full index.
 
-The multi-run sweeps (``agent_sweep``, ``damage_timelines``,
-``cut_threshold_sweep``) express their runs as pure tasks over
-:func:`repro.exec.pmap`; pass ``workers`` (or set ``REPRO_WORKERS``) to
-fan them out with bit-identical results. Multi-trial seeds use
-:func:`repro.experiments.sweeps.trial_seed` (see docs/PERF.md for the
-derivation contract).
+The sweeps behind the figures live in
+:mod:`repro.experiments.library` as registered scenarios driven by
+:class:`~repro.experiments.spec.ExperimentSpec`; the functions here
+keep the historical signatures and build the equivalent spec, so
+``agent_sweep(scale, seed=7)`` and ``run_spec("fig9")`` execute the
+same cases and share the scenario cache. Pass ``workers`` (or set
+``REPRO_WORKERS``) to fan out with bit-identical results; multi-trial
+seeds use :func:`repro.experiments.spec.trial_seed` (see docs/PERF.md
+for the derivation contract).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.config import DDPoliceConfig
-from repro.errors import MetricsError
-from repro.exec import pmap
-from repro.fluid.model import FluidConfig, FluidSimulation, MinuteRow
+from repro.fluid.model import FluidConfig
+from repro.experiments.library import (  # noqa: F401  (canonical re-exports)
+    AgentSweepRow,
+    CutThresholdRow,
+    DamageTimeline,
+    ExchangeFrequencyRow,
+    run_spec,
+)
 from repro.experiments.scenarios import Scale, bench_scale
-from repro.experiments.sweeps import trial_seed
-from repro.metrics.damage import damage_rate, damage_recovery_time
+from repro.experiments.spec import (
+    ExperimentSpec,
+    GridSpec,
+    fluid_case_result,
+    steady_means,
+)
 from repro.metrics.errors import ErrorCounts
-from repro.metrics.series import TimeSeries
 from repro.obs.config import ObsConfig
 from repro.testbed.pipeline import run_rate_sweep
+
+#: Legacy alias; the canonical implementation is spec.steady_means.
+_steady_means = steady_means
 
 
 # ---------------------------------------------------------------------------
@@ -48,23 +61,6 @@ def fig6_drop_rate_vs_density() -> List[Tuple[float, float]]:
 # Figures 9-11: service quality vs number of DDoS agents
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
-class AgentSweepRow:
-    """One x-axis point of Figures 9-11 (all three curves)."""
-
-    agents: int
-    paper_equivalent_agents: int
-    traffic_no_ddos_k: float
-    traffic_attack_k: float
-    traffic_defended_k: float
-    response_no_ddos_s: float
-    response_attack_s: float
-    response_defended_s: float
-    success_no_ddos: float
-    success_attack: float
-    success_defended: float
-
-
 def _base_config(
     scale: Scale, seed: int, obs: Optional[ObsConfig] = None
 ) -> FluidConfig:
@@ -73,39 +69,12 @@ def _base_config(
     return FluidConfig(n=scale.n_peers, seed=seed, obs=obs)
 
 
-def _steady_means(
-    rows: Sequence[MinuteRow], first_minute: int
-) -> Tuple[float, float, float]:
-    """(traffic k-msgs/min, response s, success) averaged from a minute on.
-
-    Raises :class:`~repro.errors.MetricsError` when no row lies at or
-    after ``first_minute`` (the steady-state window is empty).
-    """
-    sel = [r for r in rows if r.minute >= first_minute]
-    if not sel:
-        last = rows[-1].minute if rows else None
-        raise MetricsError(
-            f"no steady-state rows at minute >= {first_minute} "
-            f"(last simulated minute: {last})"
-        )
-    k = len(sel)
-    return (
-        sum(r.traffic_cost_kqpm for r in sel) / k,
-        sum(r.response_time_s for r in sel) / k,
-        sum(r.success_rate for r in sel) / k,
-    )
-
-
 def _steady_case_task(
     task: Tuple[FluidConfig, int, int],
 ) -> Tuple[float, float, float]:
     """One agent-sweep run (pure): ``(cfg, minutes, settle)`` -> means."""
     cfg, minutes, settle = task
-    sim = FluidSimulation(cfg)
-    sim.run(minutes)
-    out = _steady_means(sim.rows, settle)
-    sim.close_obs()
-    return out
+    return fluid_case_result(cfg, minutes, settle_min=settle).steady
 
 
 def _success_rows_task(
@@ -113,11 +82,10 @@ def _success_rows_task(
 ) -> Tuple[List[Tuple[int, float]], ErrorCounts]:
     """One timeline run (pure): per-minute success rates + error counts."""
     cfg, minutes = task
-    sim = FluidSimulation(cfg)
-    sim.run(minutes)
-    out = [(r.minute, r.success_rate) for r in sim.rows], sim.error_counts()
-    sim.close_obs()
-    return out
+    res = fluid_case_result(cfg, minutes)
+    return list(res.rows), ErrorCounts(
+        false_negative=res.false_negative, false_positive=res.false_positive
+    )
 
 
 def agent_sweep(
@@ -136,43 +104,15 @@ def agent_sweep(
     baseline plus the 2 x len(agent_counts) attack/defense runs execute
     through :func:`repro.exec.pmap`.
     """
-    scale = scale or bench_scale()
-    agent_counts = list(agent_counts or scale.agent_counts())
-    police = police or DDPoliceConfig()
-    base = _base_config(scale, seed, obs)
-    settle = scale.attack_start_min + 4  # measure after detection settles
-
-    tasks: List[Tuple[FluidConfig, int, int]] = [(base, scale.sim_minutes, settle)]
-    for k in agent_counts:
-        attack_cfg = replace(
-            base, num_agents=k, attack_start_min=scale.attack_start_min
-        )
-        defended_cfg = replace(attack_cfg, defense="ddpolice", police=police)
-        tasks.append((attack_cfg, scale.sim_minutes, settle))
-        tasks.append((defended_cfg, scale.sim_minutes, settle))
-    means = pmap(_steady_case_task, tasks, workers=workers)
-
-    t0, r0, s0 = means[0]
-    rows: List[AgentSweepRow] = []
-    for i, k in enumerate(agent_counts):
-        t1, r1, s1 = means[1 + 2 * i]
-        t2, r2, s2 = means[2 + 2 * i]
-        rows.append(
-            AgentSweepRow(
-                agents=k,
-                paper_equivalent_agents=scale.paper_equivalent_agents(k),
-                traffic_no_ddos_k=t0,
-                traffic_attack_k=t1,
-                traffic_defended_k=t2,
-                response_no_ddos_s=r0,
-                response_attack_s=r1,
-                response_defended_s=r2,
-                success_no_ddos=s0,
-                success_attack=s1,
-                success_defended=s2,
-            )
-        )
-    return rows
+    spec = ExperimentSpec(
+        name="agent-sweep",
+        scenario="agent-sweep",
+        seed=seed,
+        scale=scale or bench_scale(),
+        police=police or DDPoliceConfig(),
+        grid=GridSpec(agent_counts=tuple(agent_counts or ())),
+    )
+    return run_spec(spec, workers=workers, obs=obs, cache=False).data
 
 
 def fig9_traffic_cost(rows: Sequence[AgentSweepRow]) -> List[Tuple[int, float, float, float]]:
@@ -213,19 +153,6 @@ def fig11_success_rate(rows: Sequence[AgentSweepRow]) -> List[Tuple[int, float, 
 # Figure 12: damage rate over time for different cut thresholds
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
-class DamageTimeline:
-    """One defense variant's damage-rate trajectory."""
-
-    label: str
-    cut_threshold: Optional[float]
-    minutes: List[int]
-    damage_pct: List[float]
-
-    def series(self) -> TimeSeries:
-        return TimeSeries(zip((float(m) for m in self.minutes), self.damage_pct))
-
-
 def damage_timelines(
     scale: Optional[Scale] = None,
     *,
@@ -246,96 +173,24 @@ def damage_timelines(
     ``t`` runs with ``trial_seed(seed, t)``. All (trials x variants) runs
     dispatch through one :func:`repro.exec.pmap` call.
     """
-    scale = scale or bench_scale()
-    minutes = minutes or max(scale.sim_minutes, scale.attack_start_min + 20)
-    agents = agents if agents is not None else max(1, round(0.005 * scale.n_peers))
-
-    n_trials = max(1, trials)
-    cases_per_trial = 2 + len(cut_thresholds)  # baseline, no-defense, CTs
-    tasks: List[Tuple[FluidConfig, int]] = []
-    for t in range(n_trials):
-        base = _base_config(scale, trial_seed(seed, t), obs)
-        attack_cfg = replace(
-            base, num_agents=agents, attack_start_min=scale.attack_start_min
-        )
-        tasks.append((base, minutes))
-        tasks.append((attack_cfg, minutes))
-        for ct in cut_thresholds:
-            tasks.append(
-                (
-                    replace(
-                        attack_cfg,
-                        defense="ddpolice",
-                        police=DDPoliceConfig().with_cut_threshold(ct),
-                    ),
-                    minutes,
-                )
-            )
-    results = pmap(_success_rows_task, tasks, workers=workers)
-
-    def one_trial(t: int) -> List[DamageTimeline]:
-        chunk = results[t * cases_per_trial:(t + 1) * cases_per_trial]
-        base_success = dict(chunk[0][0])
-
-        def timeline(
-            label: str, rows: List[Tuple[int, float]], ct: Optional[float]
-        ) -> DamageTimeline:
-            mins, dmg = [], []
-            for minute, success in rows:
-                s0 = base_success.get(minute)
-                if s0 is None:
-                    continue
-                mins.append(minute)
-                if minute < scale.attack_start_min:
-                    # before the attack the runs differ only by seed noise
-                    dmg.append(0.0)
-                else:
-                    dmg.append(damage_rate(s0, min(success, s0)))
-            return DamageTimeline(
-                label=label, cut_threshold=ct, minutes=mins, damage_pct=dmg
-            )
-
-        out = [timeline("no DD-POLICE", chunk[1][0], None)]
-        for i, ct in enumerate(cut_thresholds):
-            out.append(timeline(f"DD-POLICE-{ct:g}", chunk[2 + i][0], ct))
-        return out
-
-    runs = [one_trial(t) for t in range(n_trials)]
-    if len(runs) == 1:
-        return runs[0]
-    merged: List[DamageTimeline] = []
-    for idx, first in enumerate(runs[0]):
-        series = [run[idx].damage_pct for run in runs]
-        length = min(len(s) for s in series)
-        averaged = [
-            sum(s[i] for s in series) / len(series) for i in range(length)
-        ]
-        merged.append(
-            DamageTimeline(
-                label=first.label,
-                cut_threshold=first.cut_threshold,
-                minutes=first.minutes[:length],
-                damage_pct=averaged,
-            )
-        )
-    return merged
+    spec = ExperimentSpec(
+        name="damage-timelines",
+        scenario="damage-timelines",
+        seed=seed,
+        trials=max(1, trials),
+        scale=scale or bench_scale(),
+        grid=GridSpec(
+            cut_thresholds=tuple(cut_thresholds),
+            agents=agents if agents is not None else 0,
+            minutes=minutes or 0,
+        ),
+    )
+    return run_spec(spec, workers=workers, obs=obs, cache=False).data
 
 
 # ---------------------------------------------------------------------------
 # Figures 13 & 14: errors and recovery time vs cut threshold
 # ---------------------------------------------------------------------------
-
-@dataclass(frozen=True)
-class CutThresholdRow:
-    """One CT point of Figures 13/14."""
-
-    cut_threshold: float
-    false_negative: int  # good peers wrongly disconnected (paper's term)
-    false_positive: int  # bad peers not identified (paper's term)
-    false_judgment: int
-    damage_recovery_min: Optional[float]
-    stabilized_damage_pct: float
-
 
 def cut_threshold_sweep(
     scale: Optional[Scale] = None,
@@ -357,83 +212,19 @@ def cut_threshold_sweep(
     (trials x (1 + len(cut_thresholds))) runs dispatch through one
     :func:`repro.exec.pmap` call.
     """
-    scale = scale or bench_scale()
-    minutes = minutes or max(scale.sim_minutes, scale.attack_start_min + 20)
-    agents = agents if agents is not None else max(1, round(0.005 * scale.n_peers))
-
-    n_trials = max(1, trials)
-    cases_per_trial = 1 + len(cut_thresholds)
-    tasks: List[Tuple[FluidConfig, int]] = []
-    for trial in range(n_trials):
-        base = _base_config(scale, trial_seed(seed, trial), obs)
-        tasks.append((base, minutes))
-        for ct in cut_thresholds:
-            tasks.append(
-                (
-                    replace(
-                        base,
-                        num_agents=agents,
-                        attack_start_min=scale.attack_start_min,
-                        defense="ddpolice",
-                        police=DDPoliceConfig().with_cut_threshold(ct),
-                    ),
-                    minutes,
-                )
-            )
-    results = pmap(_success_rows_task, tasks, workers=workers)
-
-    per_trial: List[List[CutThresholdRow]] = []
-    for trial in range(n_trials):
-        chunk = results[trial * cases_per_trial:(trial + 1) * cases_per_trial]
-        base_success = dict(chunk[0][0])
-
-        rows: List[CutThresholdRow] = []
-        for i, ct in enumerate(cut_thresholds):
-            run_rows, errors = chunk[1 + i]
-            damage = TimeSeries()
-            for minute, success in run_rows:
-                s0 = base_success.get(minute)
-                if s0 is None:
-                    continue
-                if minute < scale.attack_start_min:
-                    damage.append(float(minute), 0.0)
-                else:
-                    damage.append(float(minute), damage_rate(s0, min(success, s0)))
-            tail = damage.window(minutes - 5, minutes + 1)
-            rows.append(
-                CutThresholdRow(
-                    cut_threshold=ct,
-                    false_negative=errors.false_negative,
-                    false_positive=errors.false_positive,
-                    false_judgment=errors.false_judgment,
-                    damage_recovery_min=damage_recovery_time(damage),
-                    stabilized_damage_pct=tail.mean() if len(tail) else 0.0,
-                )
-            )
-        per_trial.append(rows)
-
-    if len(per_trial) == 1:
-        return per_trial[0]
-    merged: List[CutThresholdRow] = []
-    for idx, ct in enumerate(cut_thresholds):
-        cells = [t[idx] for t in per_trial]
-        recoveries = [c.damage_recovery_min for c in cells if c.damage_recovery_min is not None]
-        fn = sum(c.false_negative for c in cells)
-        fp = sum(c.false_positive for c in cells)
-        merged.append(
-            CutThresholdRow(
-                cut_threshold=ct,
-                false_negative=fn,
-                false_positive=fp,
-                false_judgment=fn + fp,
-                damage_recovery_min=(
-                    sum(recoveries) / len(recoveries) if recoveries else None
-                ),
-                stabilized_damage_pct=sum(c.stabilized_damage_pct for c in cells)
-                / len(cells),
-            )
-        )
-    return merged
+    spec = ExperimentSpec(
+        name="cut-threshold-sweep",
+        scenario="cut-threshold-sweep",
+        seed=seed,
+        trials=max(1, trials),
+        scale=scale or bench_scale(),
+        grid=GridSpec(
+            cut_thresholds=tuple(cut_thresholds),
+            agents=agents if agents is not None else 0,
+            minutes=minutes or 0,
+        ),
+    )
+    return run_spec(spec, workers=workers, obs=obs, cache=False).data
 
 
 def fig13_errors(rows: Sequence[CutThresholdRow]) -> List[Tuple[float, int, int, int]]:
@@ -461,17 +252,6 @@ def fig14_recovery(rows: Sequence[CutThresholdRow]) -> List[Tuple[float, float]]
 # Section 3.7.1: neighbor-list exchange frequency study
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
-class ExchangeFrequencyRow:
-    """One policy point of the Section 3.7.1 study."""
-
-    policy: str
-    period_min: Optional[int]
-    false_judgment: int
-    control_overhead_kqpm: float
-    stabilized_damage_pct: float
-
-
 def exchange_frequency_study(
     scale: Optional[Scale] = None,
     *,
@@ -479,6 +259,7 @@ def exchange_frequency_study(
     agents: Optional[int] = None,
     minutes: Optional[int] = None,
     seed: int = 17,
+    workers: Optional[int] = None,
     obs: Optional[ObsConfig] = None,
 ) -> List[ExchangeFrequencyRow]:
     """Periodic policy at several periods; the paper's conclusion is that
@@ -489,55 +270,35 @@ def exchange_frequency_study(
     period with per-change message accounting (every join/leave triggers
     a republication).
     """
-    scale = scale or bench_scale()
-    minutes = minutes or scale.sim_minutes
-    agents = agents if agents is not None else max(1, round(0.005 * scale.n_peers))
-    base = _base_config(scale, seed, obs)
+    spec = ExperimentSpec(
+        name="exchange-frequency",
+        scenario="exchange-frequency",
+        seed=seed,
+        scale=scale or bench_scale(),
+        grid=GridSpec(
+            periods_min=tuple(periods_min),
+            agents=agents if agents is not None else 0,
+            minutes=minutes or 0,
+        ),
+    )
+    return run_spec(spec, workers=workers, obs=obs, cache=False).data
 
-    baseline = FluidSimulation(base)
-    baseline.run(minutes)
-    baseline.close_obs()
-    base_success = {r.minute: r.success_rate for r in baseline.rows}
 
-    def run_one(label: str, period: int, event_driven: bool) -> ExchangeFrequencyRow:
-        cfg = replace(
-            base,
-            num_agents=agents,
-            attack_start_min=scale.attack_start_min,
-            defense="ddpolice",
-            exchange_period_min=period,
-        )
-        sim = FluidSimulation(cfg)
-        sim.run(minutes)
-        sim.close_obs()
-        errors = sim.error_counts()
-        online_mean = sim.mean_over(1, "online")
-        mean_deg = 6.0
-        if event_driven:
-            # "a peer informs all its neighbors whenever its neighboring
-            # peer is leaving or a new peer is joining": every churn event
-            # touches ~deg neighbors, each republishing to ~deg peers.
-            churn_events = sim.state.joins + sim.state.leaves
-            overhead = churn_events / max(1, minutes) * mean_deg * mean_deg
-        else:
-            # each online peer republishes to all neighbors every period
-            overhead = online_mean * mean_deg / period
-        tail_damage = []
-        for r in sim.rows:
-            if r.minute >= minutes - 5:
-                s0 = base_success.get(r.minute)
-                if s0 is not None:
-                    tail_damage.append(damage_rate(s0, min(r.success_rate, s0)))
-        return ExchangeFrequencyRow(
-            policy=label,
-            period_min=None if event_driven else period,
-            false_judgment=errors.false_judgment,
-            control_overhead_kqpm=overhead / 1000.0,
-            stabilized_damage_pct=(
-                sum(tail_damage) / len(tail_damage) if tail_damage else 0.0
-            ),
-        )
-
-    rows = [run_one(f"periodic-{p}min", p, event_driven=False) for p in periods_min]
-    rows.append(run_one("event-driven", 1, event_driven=True))
-    return rows
+__all__ = [
+    "AgentSweepRow",
+    "CutThresholdRow",
+    "DamageTimeline",
+    "ExchangeFrequencyRow",
+    "agent_sweep",
+    "cut_threshold_sweep",
+    "damage_timelines",
+    "exchange_frequency_study",
+    "fig5_processed_vs_sent",
+    "fig6_drop_rate_vs_density",
+    "fig9_traffic_cost",
+    "fig10_response_time",
+    "fig11_success_rate",
+    "fig13_errors",
+    "fig14_recovery",
+    "run_spec",
+]

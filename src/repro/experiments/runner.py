@@ -76,10 +76,18 @@ class DESConfig:
             raise ConfigError("duration_s must be positive")
         if not (0 <= self.num_agents <= self.n):
             raise ConfigError("num_agents out of range")
+        if self.attack_start_s < 0:
+            raise ConfigError("attack_start_s must be non-negative")
+        if self.attack_rate_qpm <= 0:
+            raise ConfigError("attack_rate_qpm must be positive")
         if self.defense not in ("none", "ddpolice", "naive"):
             raise ConfigError(f"unknown defense {self.defense!r}")
+        if self.naive_cutoff_qpm <= 0:
+            raise ConfigError("naive_cutoff_qpm must be positive")
         if self.metrics_mode not in ("incremental", "legacy"):
             raise ConfigError(f"unknown metrics_mode {self.metrics_mode!r}")
+        if self.seed < 0:
+            raise ConfigError("seed must be non-negative")
 
 
 @dataclass

@@ -36,8 +36,12 @@ class Scale:
     trials: int
 
     def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("scale name must be non-empty")
         if self.n_peers < 100:
             raise ConfigError("n_peers must be >= 100")
+        if self.attack_start_min < 0:
+            raise ConfigError("attack_start_min must be non-negative")
         if self.sim_minutes <= self.attack_start_min:
             raise ConfigError("sim_minutes must exceed attack_start_min")
         if self.trials < 1:
@@ -112,8 +116,12 @@ class FaultSweepSpec:
     attack_rate_qpm: float
 
     def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("name must be non-empty")
         if self.n_peers < 10:
             raise ConfigError("n_peers must be >= 10")
+        if self.attack_start_min < 0:
+            raise ConfigError("attack_start_min must be non-negative")
         if self.sim_minutes <= self.attack_start_min:
             raise ConfigError("sim_minutes must exceed attack_start_min")
         if self.trials < 1:
@@ -130,9 +138,8 @@ class FaultSweepSpec:
             raise ConfigError("attack_rate_qpm must be positive")
 
 
-def fault_sweep_spec() -> FaultSweepSpec:
-    """Fault-sweep grid for the active ``REPRO_SCALE``."""
-    name = os.environ.get("REPRO_SCALE", "bench").lower()
+def fault_grid_for(name: str) -> FaultSweepSpec:
+    """Fault-sweep grid for a named scale (smoke shrinks the grid)."""
     if name == "smoke":
         return FaultSweepSpec(
             name="smoke",
@@ -156,3 +163,8 @@ def fault_sweep_spec() -> FaultSweepSpec:
         num_agents=2,
         attack_rate_qpm=600.0,
     )
+
+
+def fault_sweep_spec() -> FaultSweepSpec:
+    """Fault-sweep grid for the active ``REPRO_SCALE``."""
+    return fault_grid_for(os.environ.get("REPRO_SCALE", "bench").lower())

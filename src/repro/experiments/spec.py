@@ -1,0 +1,776 @@
+"""Declarative experiment specs, backend registry, and the shared pipeline.
+
+This module makes experiments *data*. An :class:`ExperimentSpec` is a
+frozen, JSON-serializable description of one experiment -- scenario id,
+scale, sweep grid, defense (police) layer, workload layer, fault layer,
+and table selectors -- decoupled from the engine that executes it. Two
+engines implement the :class:`Backend` protocol:
+
+* ``fluid`` -- the per-minute fluid-flow model (:mod:`repro.fluid`),
+  used for every paper figure at scale;
+* ``des``   -- the message-level discrete-event runner
+  (:mod:`repro.experiments.runner`), used for the fault sweep and for
+  cross-validating fluid results at small N.
+
+Both consume the backend-neutral :class:`Case` (one simulation run) and
+return a :class:`CaseResult`; scenario drivers in
+:mod:`repro.experiments.library` expand a spec into a flat case list,
+fan it out through :func:`repro.exec.pmap` (``workers=1`` stays
+byte-identical), and aggregate.
+
+Specs round-trip through canonical JSON (:func:`spec_to_jsonable` /
+:func:`spec_from_jsonable`) and support dotted-path overrides validated
+against the dataclass tree (:func:`apply_overrides`) -- unknown keys and
+invariant violations raise :class:`~repro.errors.ConfigError` naming the
+offending path, *before* any worker process starts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+from dataclasses import dataclass, field, replace
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.attack.cheating import CheatStrategy
+from repro.core.config import DDPoliceConfig
+from repro.errors import ConfigError, MetricsError
+from repro.exec import ExecStats, pmap
+from repro.experiments.scenarios import (
+    FaultSweepSpec,
+    Scale,
+    bench_scale,
+)
+from repro.faults.plan import FaultPlan
+from repro.obs.config import ObsConfig
+from repro.obs.manifest import config_sha256, jsonable_config
+from repro.simkit.rng import derive_seed
+
+
+# ---------------------------------------------------------------------------
+# layer dataclasses
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Workload layer: how good peers and agents generate traffic.
+
+    The fluid backend reads ``issue_rate_qpm`` / ``attack_nominal_qpm``
+    (the paper's 0.3 and 20,000 queries/min); the DES backend reads
+    ``queries_per_minute`` / ``attack_rate_qpm`` (scaled-down absolutes
+    for small-N message-level runs). ``cheat_strategy`` names a
+    :class:`~repro.attack.cheating.CheatStrategy` value.
+    """
+
+    issue_rate_qpm: float = 0.3
+    attack_nominal_qpm: float = 20_000.0
+    queries_per_minute: float = 0.3
+    attack_rate_qpm: float = 2_000.0
+    cheat_strategy: str = "silent"
+    #: Per-peer processing capacity (queries/min); the paper's Section
+    #: 2.3 anchor. Both backends honor it, so scaled-down cross-backend
+    #: runs can keep the attack/capacity *ratio* instead of the paper's
+    #: absolute rates.
+    capacity_qpm: float = 10_000.0
+
+    def __post_init__(self) -> None:
+        if self.issue_rate_qpm < 0:
+            raise ConfigError("issue_rate_qpm must be non-negative")
+        if self.capacity_qpm <= 0:
+            raise ConfigError("capacity_qpm must be positive")
+        if self.attack_nominal_qpm <= 0:
+            raise ConfigError("attack_nominal_qpm must be positive")
+        if self.queries_per_minute <= 0:
+            raise ConfigError("queries_per_minute must be positive")
+        if self.attack_rate_qpm <= 0:
+            raise ConfigError("attack_rate_qpm must be positive")
+        try:
+            CheatStrategy(self.cheat_strategy)
+        except ValueError:
+            valid = ", ".join(s.value for s in CheatStrategy)
+            raise ConfigError(
+                f"unknown cheat_strategy {self.cheat_strategy!r} (valid: {valid})"
+            )
+
+    @property
+    def cheat(self) -> CheatStrategy:
+        return CheatStrategy(self.cheat_strategy)
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Sweep grid layer: the x-axes of the figure scenarios.
+
+    The registered specs set their sweep tuples explicitly; an empty
+    ``cut_thresholds``/``periods_min`` is taken verbatim (an empty
+    sweep), while empty ``agent_counts``, zero ``agents``, and zero
+    ``minutes`` mean "derive from the scale" (the historical behaviour
+    of the figure functions).
+    """
+
+    #: Figures 9-11 agent counts; empty = the paper densities at scale.
+    agent_counts: Tuple[int, ...] = ()
+    #: Figures 12-14 agent density (the paper's 100/20,000 = 0.5%).
+    agent_fraction: float = 0.005
+    #: Explicit agent count for the timeline scenarios; 0 = derive the
+    #: count from ``agent_fraction`` at the active scale.
+    agents: int = 0
+    #: Cut thresholds swept by Figures 12-14.
+    cut_thresholds: Tuple[float, ...] = ()
+    #: Periodic exchange periods in minutes (Section 3.7.1).
+    periods_min: Tuple[int, ...] = ()
+    #: Fault-sweep evidence profiles; empty = ("paper", "hardened").
+    profiles: Tuple[str, ...] = ()
+    #: Simulated minutes; 0 = derive from the scale.
+    minutes: int = 0
+
+    def __post_init__(self) -> None:
+        if any(k < 0 for k in self.agent_counts):
+            raise ConfigError("agent_counts must be non-negative")
+        if not (0.0 < self.agent_fraction <= 1.0):
+            raise ConfigError("agent_fraction must be in (0, 1]")
+        if self.agents < 0:
+            raise ConfigError("agents must be non-negative")
+        if any(ct <= 0 for ct in self.cut_thresholds):
+            raise ConfigError("cut_thresholds must be positive")
+        if any(p < 1 for p in self.periods_min):
+            raise ConfigError("periods_min must be >= 1")
+        if self.minutes < 0:
+            raise ConfigError("minutes must be non-negative")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One declarative experiment: everything but the engine.
+
+    ``scenario`` names a registered scenario driver (see
+    :mod:`repro.experiments.library`); ``backend`` names a registered
+    :class:`Backend`. ``tables`` selects which of the scenario's output
+    tables to render (empty = all). The remaining fields are the
+    override layers: ``scale``, ``police`` (defense), ``workload``,
+    ``faults``, and the sweep ``grid``.
+    """
+
+    name: str
+    scenario: str
+    title: str = ""
+    backend: str = "fluid"
+    seed: int = 0
+    trials: int = 1
+    scale: Scale = field(default_factory=bench_scale)
+    police: DDPoliceConfig = DDPoliceConfig()
+    workload: WorkloadSpec = WorkloadSpec()
+    faults: FaultSweepSpec = FaultSweepSpec(
+        name="bench",
+        n_peers=40,
+        sim_minutes=6,
+        attack_start_min=2,
+        trials=3,
+        loss_fractions=(0.0, 0.1, 0.2, 0.3),
+        crash_counts=(0, 2),
+        num_agents=2,
+        attack_rate_qpm=600.0,
+    )
+    grid: GridSpec = GridSpec()
+    tables: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("spec name must be non-empty")
+        if not self.scenario:
+            raise ConfigError("spec scenario must be non-empty")
+        if self.trials < 1:
+            raise ConfigError("trials must be >= 1")
+        if self.seed < 0:
+            raise ConfigError("seed must be non-negative")
+
+
+def spec_sha256(spec: ExperimentSpec) -> str:
+    """SHA-256 of the spec's canonical JSON form (the provenance key)."""
+    return config_sha256(spec)
+
+
+def scenario_sha256(spec: ExperimentSpec) -> str:
+    """Hash of the spec *minus* presentation fields (name/title/tables).
+
+    Two specs with the same scenario hash run the exact same
+    simulations, so scenario results can be shared between them (e.g.
+    fig9/fig10/fig11 all project the one agent sweep).
+    """
+    return config_sha256(replace(spec, name="_", title="", tables=()))
+
+
+# ---------------------------------------------------------------------------
+# spec <-> JSON round-trip
+# ---------------------------------------------------------------------------
+
+def spec_to_jsonable(spec: ExperimentSpec) -> Dict[str, Any]:
+    """Canonical JSON-able form of a spec (dicts/lists/primitives)."""
+    return jsonable_config(spec)
+
+
+def _convert(value: Any, target: Any, path: str) -> Any:
+    """Convert a JSON value into the typed field ``target`` at ``path``."""
+    origin = typing.get_origin(target)
+    if origin is Union:  # Optional[T]
+        args = [a for a in typing.get_args(target) if a is not type(None)]
+        if value is None:
+            return None
+        return _convert(value, args[0], path)
+    if origin is tuple:
+        item = typing.get_args(target)[0]
+        if not isinstance(value, (list, tuple)):
+            raise ConfigError(f"{path}: expected a list, got {value!r}")
+        return tuple(_convert(v, item, f"{path}[{i}]") for i, v in enumerate(value))
+    if isinstance(target, type) and issubclass(target, enum.Enum):
+        try:
+            return target(value)
+        except ValueError:
+            valid = ", ".join(repr(m.value) for m in target)
+            raise ConfigError(f"{path}: {value!r} is not one of {valid}")
+    if dataclasses.is_dataclass(target):
+        if not isinstance(value, Mapping):
+            raise ConfigError(f"{path}: expected an object, got {value!r}")
+        return build_dataclass(target, value, path=path)
+    if target is bool:
+        if not isinstance(value, bool):
+            raise ConfigError(f"{path}: expected a boolean, got {value!r}")
+        return value
+    if target is int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ConfigError(f"{path}: expected an integer, got {value!r}")
+        return value
+    if target is float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigError(f"{path}: expected a number, got {value!r}")
+        return float(value)
+    if target is str:
+        if not isinstance(value, str):
+            raise ConfigError(f"{path}: expected a string, got {value!r}")
+        return value
+    raise ConfigError(f"{path}: unsupported field type {target!r}")
+
+
+def build_dataclass(cls: type, doc: Mapping[str, Any], *, path: str = "") -> Any:
+    """Rebuild dataclass ``cls`` from a JSON mapping, strictly typed.
+
+    Unknown keys raise :class:`ConfigError` listing the valid field
+    names; ``__post_init__`` invariant violations are re-raised with the
+    offending path prefixed.
+    """
+    hints = typing.get_type_hints(cls)
+    names = [f.name for f in dataclasses.fields(cls)]
+    unknown = sorted(set(doc) - set(names))
+    if unknown:
+        raise ConfigError(
+            f"unknown key(s) {', '.join(repr(f'{path}.{k}' if path else k) for k in unknown)}; "
+            f"valid keys under {path or cls.__name__!r}: {', '.join(names)}"
+        )
+    kwargs = {
+        name: _convert(doc[name], hints[name], f"{path}.{name}" if path else name)
+        for name in names
+        if name in doc
+    }
+    try:
+        return cls(**kwargs)
+    except ConfigError as exc:
+        prefix = f"{path}: " if path else ""
+        raise ConfigError(f"{prefix}{exc}") from exc
+
+
+def spec_from_jsonable(doc: Mapping[str, Any]) -> ExperimentSpec:
+    """Inverse of :func:`spec_to_jsonable` (strict: unknown keys raise)."""
+    return build_dataclass(ExperimentSpec, doc, path="spec")
+
+
+# ---------------------------------------------------------------------------
+# dotted-path overrides
+# ---------------------------------------------------------------------------
+
+def parse_assignments(pairs: Sequence[str]) -> Dict[str, str]:
+    """Parse ``["a.b=1", ...]`` CLI assignments into an ordered mapping."""
+    out: Dict[str, str] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ConfigError(
+                f"bad --set assignment {pair!r} (expected dotted.path=value)"
+            )
+        out[key] = value.strip()
+    return out
+
+
+def _coerce(text: Any, target: Any, path: str) -> Any:
+    """Coerce a CLI string into the typed field ``target``."""
+    if not isinstance(text, str):
+        # Programmatic override with a real value: strict-convert it.
+        return _convert(
+            jsonable_config(text) if dataclasses.is_dataclass(text) else text,
+            target,
+            path,
+        )
+    origin = typing.get_origin(target)
+    if origin is Union:  # Optional[T]
+        args = [a for a in typing.get_args(target) if a is not type(None)]
+        if text.lower() in ("none", "null"):
+            return None
+        return _coerce(text, args[0], path)
+    if origin is tuple:
+        item = typing.get_args(target)[0]
+        parts = [p.strip() for p in text.split(",") if p.strip()]
+        return tuple(_coerce(p, item, path) for p in parts)
+    if isinstance(target, type) and issubclass(target, enum.Enum):
+        try:
+            return target(text)
+        except ValueError:
+            valid = ", ".join(repr(m.value) for m in target)
+            raise ConfigError(f"{path}: {text!r} is not one of {valid}")
+    if dataclasses.is_dataclass(target):
+        raise ConfigError(
+            f"{path} is a config section, not a value; set one of its "
+            f"fields ({', '.join(f.name for f in dataclasses.fields(target))})"
+        )
+    if target is bool:
+        low = text.lower()
+        if low in ("true", "1", "yes", "on"):
+            return True
+        if low in ("false", "0", "no", "off"):
+            return False
+        raise ConfigError(f"{path}: {text!r} is not a boolean (true/false)")
+    if target is int:
+        try:
+            return int(text)
+        except ValueError:
+            raise ConfigError(f"{path}: {text!r} is not an integer")
+    if target is float:
+        try:
+            return float(text)
+        except ValueError:
+            raise ConfigError(f"{path}: {text!r} is not a number")
+    if target is str:
+        return text
+    raise ConfigError(f"{path}: unsupported field type {target!r}")
+
+
+def _set_path(obj: Any, parts: Sequence[str], value: Any, path: str) -> Any:
+    """Rebuild ``obj`` with ``parts`` (a dotted path) replaced by value."""
+    name, rest = parts[0], parts[1:]
+    hints = typing.get_type_hints(type(obj))
+    names = [f.name for f in dataclasses.fields(obj)]
+    if name not in names:
+        where = path.rsplit(".", len(rest) + 1)[0] if "." in path else "the spec"
+        raise ConfigError(
+            f"unknown key {path!r}: no field {name!r} under {where}; "
+            f"valid keys: {', '.join(names)}"
+        )
+    if rest:
+        child = getattr(obj, name)
+        if not dataclasses.is_dataclass(child):
+            raise ConfigError(
+                f"{path}: {name!r} is a plain value, not a config section"
+            )
+        new_child = _set_path(child, rest, value, path)
+    else:
+        new_child = _coerce(value, hints[name], path)
+    try:
+        return replace(obj, **{name: new_child})
+    except ConfigError as exc:
+        raise ConfigError(f"invalid --set {path}: {exc}") from exc
+
+
+def apply_overrides(
+    spec: ExperimentSpec, overrides: Mapping[str, Any]
+) -> ExperimentSpec:
+    """Apply dotted-path overrides to a spec, validating every step.
+
+    Values may be CLI strings (coerced by field type: ``int``/``float``/
+    ``bool``/enums; comma-separated lists for tuple fields) or real
+    Python values. Unknown paths and dataclass invariant violations
+    raise :class:`ConfigError` naming the offending dotted path.
+    """
+    for key, value in overrides.items():
+        parts = [p for p in key.split(".") if p]
+        if not parts:
+            raise ConfigError(f"empty --set path {key!r}")
+        spec = _set_path(spec, parts, value, key)
+    return spec
+
+
+def override_paths(cls: type = ExperimentSpec, prefix: str = "") -> List[str]:
+    """Every settable dotted path of a spec (leaves of the tree)."""
+    out: List[str] = []
+    hints = typing.get_type_hints(cls)
+    for f in dataclasses.fields(cls):
+        target = hints[f.name]
+        dotted = f"{prefix}{f.name}"
+        if dataclasses.is_dataclass(target) and isinstance(target, type):
+            out.extend(override_paths(target, f"{dotted}."))
+        else:
+            out.append(dotted)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# backend-neutral cases
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Case:
+    """One simulation run, described independently of the engine."""
+
+    n: int
+    minutes: int
+    seed: int
+    num_agents: int = 0
+    attack_start_min: int = 0
+    defense: str = "none"
+    police: DDPoliceConfig = DDPoliceConfig()
+    exchange_period_min: int = 2
+    workload: WorkloadSpec = WorkloadSpec()
+    #: Fault schedule (DES backend only; fluid ignores it).
+    faults: FaultPlan = FaultPlan()
+    #: DES topology attachment parameter override (None = default).
+    ba_m: Optional[int] = None
+    #: First minute of the steady-state window; None skips steady means.
+    settle_min: Optional[int] = None
+    obs: Optional[ObsConfig] = None
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """What every backend reports back for one case."""
+
+    #: Per-minute (time, success-rate) samples. The fluid backend uses
+    #: integer minutes; DES uses the collector's second timestamps.
+    rows: Tuple[Tuple[float, float], ...]
+    #: (traffic k-msgs/min, response s, success) means over the
+    #: steady-state window, when ``settle_min`` was given.
+    steady: Optional[Tuple[float, float, float]]
+    false_negative: int
+    false_positive: int
+    #: Mean online population (fluid; the exchange-overhead model).
+    online_mean: float
+    #: Total churn events (fluid; the event-driven overhead model).
+    churn_events: int
+
+
+# ---------------------------------------------------------------------------
+# backends
+# ---------------------------------------------------------------------------
+
+def steady_means(rows: Sequence[Any], first_minute: int) -> Tuple[float, float, float]:
+    """(traffic k-msgs/min, response s, success) averaged from a minute on.
+
+    Raises :class:`~repro.errors.MetricsError` when no row lies at or
+    after ``first_minute`` (the steady-state window is empty).
+    """
+    sel = [r for r in rows if r.minute >= first_minute]
+    if not sel:
+        last = rows[-1].minute if rows else None
+        raise MetricsError(
+            f"no steady-state rows at minute >= {first_minute} "
+            f"(last simulated minute: {last})"
+        )
+    k = len(sel)
+    return (
+        sum(r.traffic_cost_kqpm for r in sel) / k,
+        sum(r.response_time_s for r in sel) / k,
+        sum(r.success_rate for r in sel) / k,
+    )
+
+
+def fluid_case_result(
+    cfg: Any, minutes: int, settle_min: Optional[int] = None
+) -> CaseResult:
+    """Run one :class:`~repro.fluid.model.FluidConfig` and extract results.
+
+    The shared engine step behind the ``fluid`` backend and the legacy
+    figure task shims -- one implementation, one extraction contract.
+    """
+    from repro.fluid.model import FluidSimulation
+
+    sim = FluidSimulation(cfg)
+    sim.run(minutes)
+    errors = sim.error_counts()
+    steady = steady_means(sim.rows, settle_min) if settle_min is not None else None
+    result = CaseResult(
+        rows=tuple((r.minute, r.success_rate) for r in sim.rows),
+        steady=steady,
+        false_negative=errors.false_negative,
+        false_positive=errors.false_positive,
+        online_mean=sim.mean_over(1, "online") if minutes > 1 else 0.0,
+        churn_events=sim.state.joins + sim.state.leaves,
+    )
+    sim.close_obs()
+    return result
+
+
+def fluid_metrics_task(
+    task: Tuple[Any, int, Mapping[str, Callable[[Any], float]]],
+) -> Dict[str, float]:
+    """One generic sweep trial (pure): ``(cfg, minutes, extractors)``.
+
+    Runs the fluid config and applies every named extractor to the
+    finished simulation. The task function behind
+    :func:`repro.experiments.sweeps.run_point`/``sweep`` -- module-level
+    so it pickles across :func:`repro.exec.pmap` workers.
+    """
+    from repro.fluid.model import FluidSimulation
+
+    cfg, minutes, metrics = task
+    sim = FluidSimulation(cfg)
+    sim.run(minutes)
+    out = {name: float(extractor(sim)) for name, extractor in metrics.items()}
+    sim.close_obs()
+    return out
+
+
+def _fluid_case_task(case: Case) -> CaseResult:
+    """One fluid-model case (pure, picklable): build config, run, extract."""
+    from repro.fluid.model import FluidConfig
+
+    kwargs: Dict[str, Any] = dict(
+        n=case.n,
+        seed=case.seed,
+        num_agents=case.num_agents,
+        attack_start_min=case.attack_start_min,
+        defense=case.defense,
+        police=case.police,
+        exchange_period_min=case.exchange_period_min,
+        issue_rate_qpm=case.workload.issue_rate_qpm,
+        attack_nominal_qpm=case.workload.attack_nominal_qpm,
+        capacity_qpm=case.workload.capacity_qpm,
+        cheat_strategy=case.workload.cheat,
+    )
+    if case.obs is not None:
+        kwargs["obs"] = case.obs
+    return fluid_case_result(FluidConfig(**kwargs), case.minutes, case.settle_min)
+
+
+def des_case_result(cfg: Any, settle_min: Optional[int] = None) -> CaseResult:
+    """Run one :class:`~repro.experiments.runner.DESConfig` and extract.
+
+    The shared engine step behind the ``des`` backend and the legacy
+    fault-sweep task shim.
+    """
+    from repro.experiments.runner import run_des_experiment
+
+    run = run_des_experiment(cfg)
+    success = run.collector.success_series()
+    if run.judgments is not None:
+        errors = run.error_counts()
+        fn, fp = errors.false_negative, errors.false_positive
+    else:
+        fn = fp = 0
+    steady: Optional[Tuple[float, float, float]] = None
+    if settle_min is not None:
+        settle_s = settle_min * 60.0
+        horizon = cfg.duration_s + 1.0
+        traffic = run.collector.traffic_series().window(settle_s, horizon)
+        response = run.collector.response_series().window(settle_s, horizon)
+        succ = success.window(settle_s, horizon)
+        steady = (
+            (traffic.mean() / 1000.0) if len(traffic) else 0.0,
+            response.mean() if len(response) else 0.0,
+            succ.mean() if len(succ) else 0.0,
+        )
+    return CaseResult(
+        rows=tuple(success),
+        steady=steady,
+        false_negative=fn,
+        false_positive=fp,
+        online_mean=0.0,
+        churn_events=0,
+    )
+
+
+def _des_case_task(case: Case) -> CaseResult:
+    """One message-level case (pure, picklable): build config, run, extract."""
+    from repro.experiments.runner import DESConfig
+    from repro.overlay.network import NetworkConfig
+    from repro.overlay.topology import TopologyConfig
+    from repro.workload.generator import WorkloadConfig
+
+    if case.ba_m is not None:
+        topology = TopologyConfig(n=case.n, ba_m=case.ba_m, seed=case.seed)
+    else:
+        topology = TopologyConfig(n=case.n, seed=case.seed)
+    kwargs: Dict[str, Any] = dict(
+        n=case.n,
+        duration_s=case.minutes * 60.0,
+        seed=case.seed,
+        topology=topology,
+        network=NetworkConfig(processing_qpm_good=case.workload.capacity_qpm),
+        workload=WorkloadConfig(
+            queries_per_minute=case.workload.queries_per_minute, seed=case.seed
+        ),
+        num_agents=case.num_agents,
+        attack_start_s=case.attack_start_min * 60.0,
+        attack_rate_qpm=case.workload.attack_rate_qpm,
+        cheat_strategy=case.workload.cheat,
+        defense=case.defense,
+        police=case.police,
+        faults=case.faults,
+    )
+    if case.obs is not None:
+        kwargs["obs"] = case.obs
+    return des_case_result(DESConfig(**kwargs), case.settle_min)
+
+
+@dataclass(frozen=True)
+class Backend:
+    """A registered execution engine for :class:`Case` lists."""
+
+    name: str
+    #: Module-level pure function mapping a case to its result (must be
+    #: picklable so :func:`repro.exec.pmap` can ship it to workers).
+    task_fn: Callable[[Case], CaseResult]
+    description: str = ""
+
+
+_BACKENDS: Dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend) -> Backend:
+    """Register (or replace) a backend under ``backend.name``."""
+    if not backend.name:
+        raise ConfigError("backend name must be non-empty")
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> Backend:
+    """Look a backend up by name; unknown names list the valid ones."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown backend {name!r} (registered: "
+            f"{', '.join(sorted(_BACKENDS)) or 'none'})"
+        )
+
+
+def list_backends() -> List[Backend]:
+    """All registered backends, sorted by name."""
+    return [_BACKENDS[k] for k in sorted(_BACKENDS)]
+
+
+register_backend(
+    Backend(
+        name="fluid",
+        task_fn=_fluid_case_task,
+        description="per-minute fluid-flow model (paper figures at scale)",
+    )
+)
+register_backend(
+    Backend(
+        name="des",
+        task_fn=_des_case_task,
+        description="message-level discrete-event runner (small N, faults)",
+    )
+)
+
+
+def run_cases(
+    cases: Sequence[Case],
+    *,
+    backend: str = "fluid",
+    workers: Optional[int] = None,
+    stats: Optional[ExecStats] = None,
+) -> List[CaseResult]:
+    """Execute cases on a backend through the parallel executor.
+
+    Results are in case order and bit-identical for any worker count
+    (the :func:`repro.exec.pmap` contract).
+    """
+    return pmap(get_backend(backend).task_fn, list(cases), workers=workers, stats=stats)
+
+
+# ---------------------------------------------------------------------------
+# shared trial/grid/aggregation helpers
+# ---------------------------------------------------------------------------
+
+def trial_seed(seed0: int, trial: int) -> int:
+    """Seed of independent trial ``trial`` under base seed ``seed0``."""
+    return derive_seed(seed0, "trial", trial)
+
+
+def aggregate(values: Sequence[float]) -> Tuple[float, float]:
+    """(mean, sample stddev) of a non-empty sample list."""
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return mean, 0.0
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, var ** 0.5
+
+
+def expand_grid(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Cartesian product of a named grid, in sorted-key order."""
+    names = sorted(grid)
+    for name in names:
+        if not grid[name]:
+            raise ConfigError(f"no values for swept field {name!r}")
+    combos: List[Dict[str, Any]] = []
+
+    def product(idx: int, acc: Dict[str, Any]) -> None:
+        if idx == len(names):
+            combos.append(dict(acc))
+            return
+        for value in grid[names[idx]]:
+            acc[names[idx]] = value
+            product(idx + 1, acc)
+        acc.pop(names[idx], None)
+
+    product(0, {})
+    return combos
+
+
+# ---------------------------------------------------------------------------
+# spec registry
+# ---------------------------------------------------------------------------
+
+_SPECS: Dict[str, ExperimentSpec] = {}
+
+
+def register_spec(spec: ExperimentSpec) -> ExperimentSpec:
+    """Register (or replace) a spec under ``spec.name``."""
+    _SPECS[spec.name] = spec
+    return spec
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    """Look a registered spec up by name (loading the default library)."""
+    _ensure_library()
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown spec {name!r} (registered: "
+            f"{', '.join(sorted(_SPECS)) or 'none'})"
+        )
+
+
+def list_specs() -> List[ExperimentSpec]:
+    """All registered specs, sorted by name."""
+    _ensure_library()
+    return [_SPECS[k] for k in sorted(_SPECS)]
+
+
+def _ensure_library() -> None:
+    # The default spec library lives in repro.experiments.library, which
+    # imports this module; import lazily to register its specs on first
+    # lookup without a circular import at module load.
+    import repro.experiments.library  # noqa: F401

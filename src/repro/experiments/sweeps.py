@@ -14,24 +14,47 @@ t)`` -- which, unlike the old ``seed0 + 1000 * trial`` convention,
 cannot alias trials across base seeds that differ by multiples of 1000.
 With ``workers > 1`` metric extractors must be picklable: module-level
 functions or the :class:`RowMean` helpers, not lambdas.
+
+The grid expansion, trial seeding, and (mean, stddev) aggregation are
+the shared spec-layer helpers (:mod:`repro.experiments.spec`); the
+fault sweep itself is the registered ``fault-sweep`` scenario in
+:mod:`repro.experiments.library`, kept here as a thin shim.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.config import DDPoliceConfig
 from repro.errors import ConfigError
 from repro.exec import pmap
+from repro.experiments.library import (  # noqa: F401  (canonical re-exports)
+    FAULT_PROFILES,
+    FaultPoint,
+    _fault_plan,
+    format_fault_sweep,
+    run_spec,
+)
+from repro.experiments.scenarios import FaultSweepSpec
+from repro.experiments.spec import (
+    ExperimentSpec,
+    GridSpec,
+    WorkloadSpec,
+    aggregate,
+    des_case_result,
+    expand_grid,
+    fluid_metrics_task,
+    trial_seed,  # noqa: F401  (re-export; canonical in spec)
+)
 from repro.fluid.model import FluidConfig, FluidSimulation
+from repro.metrics.errors import ErrorCounts
+from repro.metrics.series import TimeSeries
 from repro.obs.config import ObsConfig
-from repro.simkit.rng import derive_seed
 
-
-def trial_seed(seed0: int, trial: int) -> int:
-    """Seed of independent trial ``trial`` under base seed ``seed0``."""
-    return derive_seed(seed0, "trial", trial)
+#: Legacy aliases; the canonical implementations live in the spec layer.
+_aggregate = aggregate
+_metrics_task = fluid_metrics_task
 
 
 @dataclass(frozen=True)
@@ -49,18 +72,6 @@ class RowMean:
         return sim.mean_over(self.first_minute, self.attr)
 
 
-def _metrics_task(
-    task: Tuple[FluidConfig, int, Mapping[str, Callable[[FluidSimulation], float]]],
-) -> Dict[str, float]:
-    """One sweep trial: run the config, apply every extractor (pure)."""
-    cfg, minutes, metrics = task
-    sim = FluidSimulation(cfg)
-    sim.run(minutes)
-    out = {name: float(extractor(sim)) for name, extractor in metrics.items()}
-    sim.close_obs()
-    return out
-
-
 @dataclass(frozen=True)
 class SweepPoint:
     """One grid point's aggregated results."""
@@ -74,15 +85,6 @@ class SweepPoint:
         return self.metrics[metric]
 
 
-def _aggregate(values: Sequence[float]) -> Tuple[float, float]:
-    n = len(values)
-    mean = sum(values) / n
-    if n < 2:
-        return mean, 0.0
-    var = sum((v - mean) ** 2 for v in values) / (n - 1)
-    return mean, math.sqrt(var)
-
-
 def _point_from_samples(
     overrides: Mapping[str, Any],
     metrics: Mapping[str, Callable[[FluidSimulation], float]],
@@ -91,7 +93,7 @@ def _point_from_samples(
     samples: Dict[str, List[float]] = {
         name: [d[name] for d in sample_dicts] for name in metrics
     }
-    agg = {name: _aggregate(vals) for name, vals in samples.items()}
+    agg = {name: aggregate(vals) for name, vals in samples.items()}
     return SweepPoint(
         overrides=dict(overrides),
         metrics={name: a[0] for name, a in agg.items()},
@@ -142,7 +144,7 @@ def run_point(
     if obs is not None:
         base = replace(base, obs=obs)
     tasks = _trial_tasks(base, overrides, minutes, metrics, trials, seed0)
-    sample_dicts = pmap(_metrics_task, tasks, workers=workers)
+    sample_dicts = pmap(fluid_metrics_task, tasks, workers=workers)
     return _point_from_samples(overrides, metrics, sample_dicts)
 
 
@@ -181,26 +183,11 @@ def sweep(
         raise ConfigError("at least one metric extractor required")
     if obs is not None:
         base = replace(base, obs=obs)
-    names = sorted(grid)
-    for name in names:
-        if not grid[name]:
-            raise ConfigError(f"no values for swept field {name!r}")
-
-    def product(idx: int, acc: Dict[str, Any], out: List[Dict[str, Any]]) -> None:
-        if idx == len(names):
-            out.append(dict(acc))
-            return
-        for value in grid[names[idx]]:
-            acc[names[idx]] = value
-            product(idx + 1, acc, out)
-        acc.pop(names[idx], None)
-
-    combos: List[Dict[str, Any]] = []
-    product(0, {}, combos)
+    combos = expand_grid(grid)
     tasks = []
     for combo in combos:
         tasks.extend(_trial_tasks(base, combo, minutes, metrics, trials, seed0))
-    sample_dicts = pmap(_metrics_task, tasks, workers=workers)
+    sample_dicts = pmap(fluid_metrics_task, tasks, workers=workers)
     return [
         _point_from_samples(
             combo, metrics, sample_dicts[i * trials:(i + 1) * trials]
@@ -233,97 +220,23 @@ def final_false_positive(sim: FluidSimulation) -> float:
 
 
 # ----------------------------------------------------------------------
-# fault-robustness sweep (message-level)
+# fault-robustness sweep (message-level) -- shim over the registered
+# "fault-sweep" scenario in repro.experiments.library
 # ----------------------------------------------------------------------
 
-#: Evidence-collection profiles compared by the fault sweep.
-FAULT_PROFILES: Tuple[str, ...] = ("paper", "hardened")
-
-
-@dataclass(frozen=True)
-class FaultPoint:
-    """Aggregated outcome of one (loss, crashes, profile) grid point."""
-
-    loss: float
-    crashes: int
-    profile: str
-    false_negative: float
-    false_positive: float
-    false_judgment: float
-    #: Mean damage-recovery time over the trials where it was defined.
-    recovery_time_s: Optional[float]
-    #: Trials where the damage both crossed 20% and recovered to 15%.
-    recovered_trials: int
-    trials: int
-
-
-def _fault_plan(spec: "FaultSweepSpec", loss: float, crashes: int) -> "FaultPlan":
-    from repro.faults.plan import CrashRule, FaultPlan
-
-    plan = FaultPlan()
-    if loss > 0.0:
-        plan = plan.merged(FaultPlan.control_loss(loss))
-    if crashes > 0:
-        # Crash good peers one minute into the attack: silent buddies at
-        # exactly the moment their reports are needed.
-        plan = plan.merged(
-            FaultPlan(
-                crashes=(
-                    CrashRule(
-                        at_s=(spec.attack_start_min + 1) * 60.0, count=crashes
-                    ),
-                )
-            )
-        )
-    return plan
-
-
-def _fault_des_config(
-    spec: "FaultSweepSpec",
-    *,
-    loss: float,
-    crashes: int,
-    seed: int,
-    num_agents: int,
-    police: "DDPoliceConfig",
-):
-    from repro.attack.cheating import CheatStrategy
-    from repro.experiments.runner import DESConfig
-    from repro.overlay.topology import TopologyConfig
-    from repro.workload.generator import WorkloadConfig
-
-    return DESConfig(
-        n=spec.n_peers,
-        duration_s=spec.sim_minutes * 60.0,
-        seed=seed,
-        # Tree overlay: flooding is duplicate-free, so the Definition 2.1
-        # send/receive balance is exact and indicator noise comes only
-        # from the injected faults (same reasoning as the end-to-end
-        # integration scenario).
-        topology=TopologyConfig(n=spec.n_peers, ba_m=1, seed=seed),
-        workload=WorkloadConfig(queries_per_minute=2.0, seed=seed),
-        num_agents=num_agents,
-        attack_start_s=spec.attack_start_min * 60.0,
-        attack_rate_qpm=spec.attack_rate_qpm,
-        # Agents flood but *report honestly*: every false negative is a
-        # network/evidence artifact, not Section 3.4 cheating.
-        cheat_strategy=CheatStrategy.HONEST,
-        defense="ddpolice",
-        police=police,
-        faults=_fault_plan(spec, loss, crashes),
+def _des_case_task(cfg: Any) -> Tuple[ErrorCounts, TimeSeries]:
+    """One DES run (pure): returns (error counts, success series)."""
+    res = des_case_result(cfg)
+    return (
+        ErrorCounts(
+            false_negative=res.false_negative, false_positive=res.false_positive
+        ),
+        TimeSeries(res.rows),
     )
 
 
-def _des_case_task(cfg: Any) -> Tuple[Any, Any]:
-    """One DES run (pure): returns (error counts, success series)."""
-    from repro.experiments.runner import run_des_experiment
-
-    run = run_des_experiment(cfg)
-    return run.error_counts(), run.collector.success_series()
-
-
 def fault_sweep(
-    spec: "FaultSweepSpec",
+    spec: FaultSweepSpec,
     *,
     seed0: int = 0,
     profiles: Sequence[str] = FAULT_PROFILES,
@@ -340,126 +253,24 @@ def fault_sweep(
     dedicated RNG streams, so the profile never perturbs the faults.
 
     Every run on the grid -- clean baselines and attacked runs alike --
-    is an independent task over its own :class:`DESConfig`, so the whole
-    sweep fans out through :func:`repro.exec.pmap`.
+    is an independent :class:`~repro.experiments.spec.Case` on the
+    ``des`` backend, so the whole sweep fans out through
+    :func:`repro.exec.pmap`.
     """
-    from repro.core.config import DDPoliceConfig
-    from repro.metrics.damage import damage_rate_series, damage_recovery_time
-
-    base_police = DDPoliceConfig(exchange_period_s=30.0)
-    police_by_profile = {
-        "paper": base_police,
-        "hardened": base_police.with_hardening(),
-    }
-    for profile in profiles:
-        if profile not in police_by_profile:
-            raise ConfigError(f"unknown fault profile {profile!r}")
-
-    # One clean-run baseline per (loss, crashes, trial), shared by the
-    # profiles: with no attackers there are no investigations, so the
-    # evidence profile cannot matter there.
-    baseline_keys: List[Tuple[float, int, int]] = []
-    run_keys: List[Tuple[float, int, str, int]] = []
-    tasks: List[Any] = []
-    for loss in spec.loss_fractions:
-        for crashes in spec.crash_counts:
-            for trial in range(spec.trials):
-                baseline_keys.append((loss, crashes, trial))
-                tasks.append(
-                    _fault_des_config(
-                        spec,
-                        loss=loss,
-                        crashes=crashes,
-                        seed=trial_seed(seed0, trial),
-                        num_agents=0,
-                        police=base_police,
-                    )
-                )
-    for loss in spec.loss_fractions:
-        for crashes in spec.crash_counts:
-            for profile in profiles:
-                for trial in range(spec.trials):
-                    run_keys.append((loss, crashes, profile, trial))
-                    tasks.append(
-                        _fault_des_config(
-                            spec,
-                            loss=loss,
-                            crashes=crashes,
-                            seed=trial_seed(seed0, trial),
-                            num_agents=spec.num_agents,
-                            police=police_by_profile[profile],
-                        )
-                    )
-
-    if obs is not None:
-        tasks = [replace(cfg, obs=obs) for cfg in tasks]
-    results = pmap(_des_case_task, tasks, workers=workers)
-    baseline_series = {
-        key: series
-        for key, (_, series) in zip(baseline_keys, results[: len(baseline_keys)])
-    }
-    run_results = dict(zip(run_keys, results[len(baseline_keys):]))
-
-    points: List[FaultPoint] = []
-    for loss in spec.loss_fractions:
-        for crashes in spec.crash_counts:
-            for profile in profiles:
-                fns: List[float] = []
-                fps: List[float] = []
-                recoveries: List[float] = []
-                for trial in range(spec.trials):
-                    errors, series = run_results[(loss, crashes, profile, trial)]
-                    fns.append(float(errors.false_negative))
-                    fps.append(float(errors.false_positive))
-                    damage = damage_rate_series(
-                        baseline_series[(loss, crashes, trial)], series
-                    )
-                    rec = damage_recovery_time(damage)
-                    if rec is not None:
-                        recoveries.append(rec)
-                fn, _ = _aggregate(fns)
-                fp, _ = _aggregate(fps)
-                points.append(
-                    FaultPoint(
-                        loss=loss,
-                        crashes=crashes,
-                        profile=profile,
-                        false_negative=fn,
-                        false_positive=fp,
-                        false_judgment=fn + fp,
-                        recovery_time_s=(
-                            _aggregate(recoveries)[0] if recoveries else None
-                        ),
-                        recovered_trials=len(recoveries),
-                        trials=spec.trials,
-                    )
-                )
-    return points
-
-
-def format_fault_sweep(spec: "FaultSweepSpec", points: Sequence[FaultPoint]) -> str:
-    """Fixed-width table of a fault sweep, ready for ``results/``."""
-    lines = [
-        "Fault-robustness sweep: control-plane loss x fail-stop crashes",
-        f"scale={spec.name}  n={spec.n_peers}  agents={spec.num_agents} "
-        f"(honest reporters)  attack={spec.attack_rate_qpm:g} qpm "
-        f"from minute {spec.attack_start_min}  "
-        f"duration={spec.sim_minutes} min  trials={spec.trials}",
-        "profiles: paper = assume-0 on missing reports (Section 3.3); "
-        "hardened = retries + quorum 0.5 + window extension + "
-        "list retransmit",
-        "FN = good peers wrongly cut, FP = bad peers never caught "
-        "(paper's Figure 13 terms), means over trials",
-        "",
-        f"{'loss':>5} {'crashes':>7} {'profile':>9} {'FN':>6} {'FP':>6} "
-        f"{'FJ':>6} {'recovery_s':>11} {'recovered':>9}",
-    ]
-    for p in points:
-        rec = f"{p.recovery_time_s:.0f}" if p.recovery_time_s is not None else "n/c"
-        recovered = f"{p.recovered_trials}/{p.trials}"
-        lines.append(
-            f"{p.loss:>5.2f} {p.crashes:>7d} {p.profile:>9} "
-            f"{p.false_negative:>6.2f} {p.false_positive:>6.2f} "
-            f"{p.false_judgment:>6.2f} {rec:>11} {recovered:>9}"
-        )
-    return "\n".join(lines)
+    run = run_spec(
+        ExperimentSpec(
+            name="fault-sweep",
+            scenario="fault-sweep",
+            backend="des",
+            seed=seed0,
+            police=DDPoliceConfig(exchange_period_s=30.0),
+            workload=WorkloadSpec(queries_per_minute=2.0, cheat_strategy="honest"),
+            faults=spec,
+            grid=GridSpec(profiles=tuple(profiles)),
+            tables=("fault_sweep",),
+        ),
+        workers=workers,
+        obs=obs,
+        cache=False,
+    )
+    return run.data

@@ -117,10 +117,22 @@ class FluidConfig:
             raise ConfigError("num_agents out of range")
         if self.attack_start_min < 0:
             raise ConfigError("attack_start_min must be non-negative")
+        if self.attack_nominal_qpm <= 0:
+            raise ConfigError("attack_nominal_qpm must be positive")
+        if self.churn_warmup_min < 0:
+            raise ConfigError("churn_warmup_min must be non-negative")
+        if self.exchange_period_min < 1:
+            raise ConfigError("exchange_period_min must be >= 1")
         if self.defense not in ("none", "ddpolice", "naive"):
             raise ConfigError(f"unknown defense {self.defense!r}")
+        if self.naive_cutoff_qpm <= 0:
+            raise ConfigError("naive_cutoff_qpm must be positive")
         if self.hop_latency_s <= 0:
             raise ConfigError("hop_latency_s must be positive")
+        if self.max_queue_wait_s < 0:
+            raise ConfigError("max_queue_wait_s must be non-negative")
+        if self.seed < 0:
+            raise ConfigError("seed must be non-negative")
 
     def without_attack(self) -> "FluidConfig":
         """Baseline twin (same seed, no agents) for damage-rate series."""

@@ -1,0 +1,108 @@
+"""Unit tests for the generic `repro run` spec-runner subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.spec import get_spec, list_specs, spec_sha256
+from repro.obs.manifest import load_manifest, verify_manifest
+
+
+def test_run_list_enumerates_every_spec(capsys):
+    assert main(["run", "--list"]) == 0
+    out = capsys.readouterr().out
+    for spec in list_specs():
+        assert spec.name in out
+        assert spec.scenario in out
+
+
+def test_run_paths_lists_override_paths(capsys):
+    assert main(["run", "--paths"]) == 0
+    out = capsys.readouterr().out.splitlines()
+    for path in (
+        "police.cut_threshold",
+        "scale.n_peers",
+        "workload.capacity_qpm",
+        "faults.trials",
+        "grid.agent_counts",
+    ):
+        assert path in out
+
+
+def test_run_without_specs_is_an_error(capsys):
+    assert main(["run"]) == 2
+    assert "no specs given" in capsys.readouterr().err
+
+
+def test_run_unknown_spec_is_an_error(capsys):
+    assert main(["run", "fig99"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown spec" in err and "fig9" in err
+
+
+def test_run_unknown_override_path_is_an_error(capsys):
+    assert main(["run", "fig5", "--set", "police.cut_treshold=7"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown key" in err and "cut_threshold" in err
+
+
+def test_run_invalid_override_value_is_an_error(capsys):
+    assert main(["run", "fig9", "--scale", "smoke", "--set", "scale.n_peers=10"]) == 2
+    assert "invalid --set scale.n_peers" in capsys.readouterr().err
+
+
+def test_run_fig5_prints_table_and_provenance(capsys):
+    from repro.experiments.library import spec_at_scale
+
+    assert main(["run", "fig5", "--scale", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+    # The hash covers the spec as resolved (scale retarget included).
+    sha = spec_sha256(spec_at_scale(get_spec("fig5"), "smoke"))
+    assert f"# spec fig5 sha256={sha[:12]}" in out
+
+
+def test_run_with_override_changes_the_hash(capsys):
+    from repro.experiments.library import spec_at_scale
+
+    assert main(
+        ["run", "fig5", "--scale", "smoke", "--set", "police.cut_threshold=7"]
+    ) == 0
+    out = capsys.readouterr().out
+    sha = spec_sha256(spec_at_scale(get_spec("fig5"), "smoke"))
+    assert sha[:12] not in out
+
+
+def test_run_out_writes_tables_with_manifest(tmp_path, capsys):
+    assert main(["run", "fig5", "--scale", "smoke", "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    artifact = tmp_path / "fig05_processed.txt"
+    assert artifact.exists()
+    assert f"# wrote {artifact}" in out
+    assert artifact.read_text().rstrip("\n") in out
+    manifest = load_manifest(tmp_path / "fig05_processed.manifest.json")
+    assert manifest["kind"] == "spec-run"
+    assert manifest["extra"]["spec_name"] == "fig5"
+    sidecar_sha = manifest["extra"]["spec_sha256"]
+    assert sidecar_sha == json.loads(json.dumps(sidecar_sha))  # plain string
+
+
+def test_run_manifest_verifies_against_the_resolved_spec(tmp_path):
+    from repro.experiments.library import spec_at_scale
+
+    assert main(["run", "fig5", "--scale", "smoke", "--out", str(tmp_path)]) == 0
+    manifest = load_manifest(tmp_path / "fig05_processed.manifest.json")
+    resolved = spec_at_scale(get_spec("fig5"), "smoke")
+    assert verify_manifest(manifest, config=resolved)
+    assert manifest["extra"]["spec_sha256"] == spec_sha256(resolved)
+
+
+def test_run_rejects_bad_assignment_syntax(capsys):
+    assert main(["run", "fig5", "--set", "police.cut_threshold"]) == 2
+    assert "bad --set assignment" in capsys.readouterr().err
+
+
+def test_run_backend_choice_validated():
+    with pytest.raises(SystemExit):
+        main(["run", "fig5", "--backend", "ns3"])

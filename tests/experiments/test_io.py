@@ -1,10 +1,19 @@
 """Unit tests for experiment-result persistence."""
 
+import json
+
 import pytest
 
 from repro.errors import ConfigError
 from repro.experiments.figures import CutThresholdRow
-from repro.experiments.io import load_records, load_rows, save_records, save_rows
+from repro.experiments.io import (
+    load_records,
+    load_rows,
+    load_spec,
+    save_records,
+    save_rows,
+)
+from repro.experiments.spec import get_spec, spec_sha256
 from repro.fluid.model import FluidConfig, FluidSimulation
 
 
@@ -56,6 +65,82 @@ def test_format_version_checked(tmp_path):
     path = tmp_path / "bad.json"
     path.write_text('{"format": 99, "kind": "minute-rows", "records": []}')
     with pytest.raises(ConfigError):
+        load_rows(path)
+
+
+def test_spec_provenance_roundtrip(tmp_path):
+    spec = get_spec("fig13")
+    records = [
+        CutThresholdRow(
+            cut_threshold=5.0,
+            false_negative=10,
+            false_positive=1,
+            false_judgment=11,
+            damage_recovery_min=2.0,
+            stabilized_damage_pct=4.5,
+        ),
+    ]
+    path = save_records(tmp_path / "ct.json", records, kind="ct-rows", spec=spec)
+    assert load_records(path, CutThresholdRow, kind="ct-rows") == records
+    loaded = load_spec(path)
+    assert loaded == spec
+    payload = json.loads(path.read_text())
+    assert payload["spec_sha256"] == spec_sha256(spec)
+
+
+def test_spec_absent_returns_none(tmp_path):
+    path = save_records(tmp_path / "ct.json", [], kind="ct-rows")
+    assert load_spec(path) is None
+
+
+def test_tampered_spec_rejected(tmp_path):
+    path = save_records(
+        tmp_path / "ct.json", [], kind="ct-rows", spec=get_spec("fig13")
+    )
+    payload = json.loads(path.read_text())
+    payload["spec"]["seed"] = payload["spec"]["seed"] + 1  # hand-edit
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ConfigError, match="spec_sha256"):
+        load_spec(path)
+
+
+def test_old_format_version_rejected(tmp_path):
+    path = tmp_path / "v1.json"
+    path.write_text('{"format": 1, "kind": "minute-rows", "records": []}')
+    with pytest.raises(ConfigError, match="unsupported results format 1"):
+        load_rows(path)
+
+
+def test_non_object_payload_rejected(tmp_path):
+    path = tmp_path / "list.json"
+    path.write_text("[1, 2, 3]")
+    with pytest.raises(ConfigError, match="expected a JSON object"):
+        load_rows(path)
+
+
+def test_truncated_json_rejected(tmp_path):
+    path = tmp_path / "trunc.json"
+    path.write_text('{"format": 2, "kind": "minute-ro')
+    with pytest.raises(ConfigError, match="not valid JSON"):
+        load_rows(path)
+
+
+def test_mismatched_record_fields_rejected(tmp_path):
+    path = save_records(
+        tmp_path / "ct.json",
+        [
+            CutThresholdRow(
+                cut_threshold=5.0,
+                false_negative=10,
+                false_positive=1,
+                false_judgment=11,
+                damage_recovery_min=2.0,
+                stabilized_damage_pct=4.5,
+            )
+        ],
+        kind="minute-rows",  # lie about the kind
+    )
+    with pytest.raises(ConfigError, match="does not match MinuteRow"):
         load_rows(path)
 
 
