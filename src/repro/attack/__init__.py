@@ -10,13 +10,26 @@ Implements the bad-peer behaviour of Sections 2.1-2.3:
   strategies of Section 3.4 (honest / inflate / deflate / silent).
 * :class:`~repro.attack.scenario.AttackScenario` -- picks k random
   compromised peers and launches them at a configured time.
+* :mod:`~repro.attack.adaptive` -- adversaries that fight the defense
+  back: threshold-aware throttling, coordinated collusion, churn-assisted
+  evasion, and exchange-phase-locked pulsing.
 """
 
+from repro.attack.adaptive import (
+    ADAPTIVE_STRATEGIES,
+    AdaptiveAgent,
+    AdaptiveConfig,
+    CollusionRing,
+)
 from repro.attack.agent import AgentConfig, DDoSAgent
 from repro.attack.cheating import CheatStrategy, apply_cheat
 from repro.attack.scenario import AttackScenario, ScenarioConfig
 
 __all__ = [
+    "ADAPTIVE_STRATEGIES",
+    "AdaptiveAgent",
+    "AdaptiveConfig",
+    "CollusionRing",
     "AgentConfig",
     "DDoSAgent",
     "CheatStrategy",

@@ -101,8 +101,6 @@ class DDoSAgent:
         not at construction: queries the peer issued *before* compromise
         keep their GOOD class in the metrics pipeline, so pre-attack
         minutes of an attacked run match the clean baseline exactly.
-        Registration is permanent -- once compromised, the peer's later
-        queries stay classified as attack traffic even after ``stop``.
         """
         if self._active:
             return
@@ -111,7 +109,18 @@ class DDoSAgent:
         self.sim.schedule_in(0.0, self._batch)
 
     def stop(self) -> None:
+        """Cease attacking and drop the attack-origin registration.
+
+        Each query's class is recorded at issue time, so everything the
+        agent already sent stays classified as attack traffic; but a
+        stopped agent's peer that later rejoins (e.g. under churn) issues
+        *good* queries again, and a stale registration would misclassify
+        them. ``start`` re-registers, so stop/start cycles stay correct.
+        """
+        if not self._active:
+            return
         self._active = False
+        self.network.unregister_attack_origin(self.peer_id)
 
     def _bogus_keywords(self) -> Tuple[str, ...]:
         self._nonce += 1
@@ -123,13 +132,23 @@ class DDoSAgent:
             return tuple(record.search_string.split())
         return ("bogus", f"x{self.peer_id.value}n{self._nonce}")
 
+    def _batch_rate_qpm(self, n_neighbors: int) -> float:
+        """Issue rate for the current batch (queries/minute).
+
+        Subclasses override this single hook to shape the flood
+        (throttling, pulsing) without touching the carry arithmetic --
+        the base behaviour stays the paper's constant-max-rate law.
+        """
+        return self.config.effective_rate_qpm
+
     def _batch(self) -> None:
         if not self._active:
             return
         peer = self.network.peers[self.peer_id]
         if peer.online and peer.neighbors:
+            rate_qpm = self._batch_rate_qpm(len(peer.neighbors))
             per_batch = (
-                self.config.effective_rate_qpm
+                rate_qpm
                 * self.config.batch_interval_s
                 / 60.0
                 + self._carry

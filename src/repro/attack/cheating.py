@@ -13,6 +13,17 @@ belongs to (e.g. BG1-m) asks for traffic reports:
    as case 2's outcome: "if a peer has not received a Neighbor_Traffic
    message from peer j within a predefined time period, it just assumes
    that peer j sent 0 query to peer m."
+
+Beyond the paper's four single-agent choices, :data:`CheatStrategy.COLLUDE`
+models a *coordinated* ring: when the suspect is a fellow colluder, the
+reporter fabricates a large ``outgoing`` count ("I sent j that flood --
+j merely forwarded it") and a zero ``incoming`` count (hiding the flood
+j sent it). The fabricated Q_mj enters both indicators on the excusing
+side: it grows ``(k-1) * received_by_j`` in the General indicator and the
+``sum of Q_mj`` subtrahend in the Single indicator, dragging both under
+the cut threshold. About non-colluders the reporter answers honestly to
+blend in. See :class:`repro.attack.adaptive.CollusionRing` for the
+neighbor-list half of the lie (consistent fabricated claims).
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ class CheatStrategy(enum.Enum):
     INFLATE = "inflate"
     DEFLATE = "deflate"
     SILENT = "silent"
+    COLLUDE = "collude"
 
 
 def apply_cheat(
@@ -39,12 +51,21 @@ def apply_cheat(
     *,
     inflate_factor: float = 10.0,
     deflate_factor: float = 0.01,
+    suspect_is_colluder: bool = False,
+    collude_excuse_qpm: float = 500.0,
 ) -> Optional[Tuple[int, int]]:
     """Transform true per-minute counts according to the strategy.
 
     Returns ``(reported_outgoing, reported_incoming)`` or ``None`` when the
     peer refuses to report (SILENT). The receiving side maps ``None`` to
     ``(0, 0)`` per the protocol rule quoted above.
+
+    COLLUDE is corroboration, not self-defense: only when the report is
+    *about a fellow colluder* (``suspect_is_colluder``) does the reporter
+    fabricate ``(collude_excuse_qpm, 0)`` -- the "I sent j everything it
+    emitted, it sent me nothing" alibi. Everywhere else a colluder
+    reports honestly, so it never trips the inflate/deflate analysis of
+    Section 3.4 on its own account.
     """
     if true_outgoing < 0 or true_incoming < 0:
         raise ConfigError("query counts must be non-negative")
@@ -56,4 +77,10 @@ def apply_cheat(
         return (int(true_outgoing * inflate_factor), true_incoming)
     if strategy is CheatStrategy.DEFLATE:
         return (int(true_outgoing * deflate_factor), true_incoming)
+    if strategy is CheatStrategy.COLLUDE:
+        if collude_excuse_qpm < 0:
+            raise ConfigError("collude_excuse_qpm must be non-negative")
+        if suspect_is_colluder:
+            return (int(collude_excuse_qpm), 0)
+        return (true_outgoing, true_incoming)
     raise ConfigError(f"unknown strategy {strategy!r}")  # pragma: no cover

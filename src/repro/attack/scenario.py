@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Optional, Set
+from typing import TYPE_CHECKING, Dict, Optional, Set
 
+from repro.attack.adaptive import AdaptiveAgent, AdaptiveConfig
 from repro.attack.agent import AgentConfig, DDoSAgent
 from repro.attack.cheating import CheatStrategy
 from repro.errors import ConfigError
@@ -19,6 +20,9 @@ from repro.overlay.bandwidth import BandwidthClass, BandwidthModel
 from repro.overlay.ids import PeerId
 from repro.overlay.network import OverlayNetwork
 from repro.simkit.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.churn.process import ChurnProcess
 
 
 @dataclass(frozen=True)
@@ -53,14 +57,18 @@ class AttackScenario:
         bandwidth_model: Optional[BandwidthModel] = None,
         bandwidth_classes: Optional[Dict[int, BandwidthClass]] = None,
         rng: Optional[random.Random] = None,
+        adaptive: Optional[AdaptiveConfig] = None,
+        churn: Optional["ChurnProcess"] = None,
     ) -> None:
         if config.num_agents > len(network.peers):
             raise ConfigError(
-                f"cannot compromise {config.num_agents} of {len(network.peers)} peers"
+                f"num_agents: cannot compromise {config.num_agents} of "
+                f"{len(network.peers)} peers (k must not exceed n)"
             )
         self.sim = sim
         self.network = network
         self.config = config
+        self.adaptive = adaptive or AdaptiveConfig()
         self._rng = rng or random.Random(config.seed)
         self.agents: Dict[PeerId, DDoSAgent] = {}
 
@@ -78,9 +86,24 @@ class AttackScenario:
                 per_neighbor=config.per_neighbor,
                 cheat_strategy=config.cheat_strategy,
             )
-            self.agents[pid] = DDoSAgent(
-                sim, network, pid, agent_cfg, rng=random.Random(self._rng.getrandbits(32))
-            )
+            # One getrandbits draw per agent on *both* paths: the static
+            # strategy consumes the exact rng sequence it always did, so
+            # every pre-adaptive figure table stays byte-identical.
+            agent_rng = random.Random(self._rng.getrandbits(32))
+            if self.adaptive.strategy == "static":
+                self.agents[pid] = DDoSAgent(
+                    sim, network, pid, agent_cfg, rng=agent_rng
+                )
+            else:
+                self.agents[pid] = AdaptiveAgent(
+                    sim,
+                    network,
+                    pid,
+                    agent_cfg,
+                    self.adaptive,
+                    churn=churn,
+                    rng=agent_rng,
+                )
 
     @property
     def compromised(self) -> Set[PeerId]:

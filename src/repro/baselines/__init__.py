@@ -7,14 +7,22 @@
 * :mod:`~repro.baselines.load_balance` -- the Daswani & Garcia-Molina
   query-flood load-balancing defense ([21], CCS'02), the paper's "most
   related work": fair-share forwarding without identifying attackers.
+* :mod:`~repro.baselines.traceback` -- probabilistic packet-marking
+  traceback (Savage et al. / Barak-Pelleg et al.) adapted to the
+  overlay's minute granularity: sampled mark accumulation per incoming
+  edge, with PPM's coupon-collection time-to-identify.
 """
 
 from repro.baselines.naive import NaiveCutoffDefense, NaiveCutoffConfig
 from repro.baselines.load_balance import LoadBalancingDefense, LoadBalancingConfig
+from repro.baselines.traceback import TracebackConfig, TracebackDefense, deploy_traceback
 
 __all__ = [
     "NaiveCutoffDefense",
     "NaiveCutoffConfig",
     "LoadBalancingDefense",
     "LoadBalancingConfig",
+    "TracebackConfig",
+    "TracebackDefense",
+    "deploy_traceback",
 ]

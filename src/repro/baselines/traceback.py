@@ -1,0 +1,145 @@
+"""Probabilistic packet-marking (PPM) traceback baseline.
+
+IP-level PPM (Savage et al.; analyzed by Barak-Pelleg et al.,
+"Reconstructing DDoS Attack Graphs using Probabilistic Packet Marking")
+has routers mark forwarded packets with probability ``p``; the victim
+reconstructs the attack path once enough marks arrive, with a
+time-to-identify governed by coupon collection: roughly
+``marks_to_identify / (p * rate)`` time units per edge.
+
+The overlay adaptation collapses the path to its last hop: every peer is
+its own "victim router" and accumulates, per neighbor and per minute, a
+``Binomial(received_queries, p)`` sample of marked queries. When the
+marks from one neighbor within the sliding window reach
+``marks_to_identify``, that upstream edge is declared part of the attack
+graph and cut. This keeps PPM's two defining properties -- detection is
+*probabilistic* (a sampled fraction of traffic is evidence) and latency
+scales inversely with rate and ``p`` -- and also its defining weakness
+at the overlay layer: marks identify the upstream *edge*, not the query
+*originator*, so a good peer forwarding an attacker's flood is
+indistinguishable from the attacker (the same forwarder-blindness the
+paper's Section 2.1 strawman suffers, which DD-POLICE's buddy-group
+evidence exists to fix). The ``robustness-matrix`` spec quantifies both
+sides: time-to-identify vs DD-POLICE's investigation latency, and the
+false-suspect cost of rate-only evidence.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.metrics.errors import Judgment, JudgmentLog
+from repro.overlay.ids import PeerId
+from repro.overlay.message import Bye
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.peer import Peer
+
+
+@dataclass(frozen=True)
+class TracebackConfig:
+    """PPM parameters, translated to the overlay's minute granularity."""
+
+    #: Marking probability ``p``: fraction of received queries that carry
+    #: a usable mark.
+    mark_prob: float = 0.04
+    #: Marks from one neighbor (within the window) that convict the edge.
+    marks_to_identify: int = 40
+    #: Sliding evidence window, in minutes.
+    window_minutes: int = 3
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.mark_prob <= 1.0):
+            raise ConfigError("mark_prob must be in (0, 1]")
+        if self.marks_to_identify < 1:
+            raise ConfigError("marks_to_identify must be >= 1")
+        if self.window_minutes < 1:
+            raise ConfigError("window_minutes must be >= 1")
+
+
+class TracebackDefense:
+    """Per-peer PPM mark accumulator over the incoming edges."""
+
+    def __init__(
+        self,
+        network: OverlayNetwork,
+        peer: Peer,
+        config: TracebackConfig = TracebackConfig(),
+        *,
+        judgment_log: Optional[JudgmentLog] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.network = network
+        self.peer = peer
+        self.config = config
+        self.judgments = judgment_log if judgment_log is not None else JudgmentLog()
+        self._rng = rng or random.Random(peer.id.value)
+        #: Per-neighbor (minute, marks) samples inside the window.
+        self._marks: Dict[PeerId, Deque[Tuple[int, int]]] = {}
+        self.disconnects_issued = 0
+        network.minute_listeners.append(self._on_minute)
+
+    def _sample_marks(self, count: int) -> int:
+        """Binomial(count, p) via explicit Bernoulli draws (seeded rng)."""
+        p = self.config.mark_prob
+        marks = 0
+        for _ in range(count):
+            if self._rng.random() < p:
+                marks += 1
+        return marks
+
+    def _on_minute(self, minute: int, now: float) -> None:
+        if not self.peer.online:
+            return
+        horizon = minute - self.config.window_minutes
+        for neighbor, count in sorted(
+            self.peer.last_minute_in.items(), key=lambda kv: kv[0].value
+        ):
+            if neighbor not in self.peer.neighbors:
+                continue
+            window = self._marks.setdefault(neighbor, deque())
+            window.append((minute, self._sample_marks(count)))
+            while window and window[0][0] <= horizon:
+                window.popleft()
+            total = sum(m for _, m in window)
+            if total >= self.config.marks_to_identify:
+                self.disconnects_issued += 1
+                self.judgments.record(
+                    Judgment(
+                        time=now,
+                        observer=self.peer.id,
+                        suspect=neighbor,
+                        g_value=float(total),
+                        s_value=float("nan"),
+                        disconnected=True,
+                        reason="traceback",
+                    )
+                )
+                self.network.disconnect(
+                    self.peer.id, neighbor, reason_code=Bye.REASON_TRACEBACK
+                )
+                self._marks.pop(neighbor, None)
+
+
+def deploy_traceback(
+    network: OverlayNetwork,
+    config: TracebackConfig = TracebackConfig(),
+    *,
+    rng: Optional[random.Random] = None,
+) -> Dict[PeerId, TracebackDefense]:
+    """Attach the PPM baseline to every peer; shared judgment log."""
+    log = JudgmentLog()
+    rng = rng or random.Random(0)
+    return {
+        pid: TracebackDefense(
+            network,
+            peer,
+            config,
+            judgment_log=log,
+            rng=random.Random(rng.getrandbits(32)),
+        )
+        for pid, peer in network.peers.items()
+    }

@@ -88,7 +88,24 @@ class ChurnProcess:
                                      self._leave, pid)
 
     # ------------------------------------------------------------------
-    def _leave(self, pid: PeerId) -> None:
+    def depart(self, pid: PeerId, *, rejoin_after_s: Optional[float] = None) -> None:
+        """Voluntary leave initiated by the peer itself.
+
+        The same teardown/rejoin path as sampled churn -- neighbors
+        observe a normal close, content relocates, the host cache hands
+        out fresh neighbors on return -- but the off-time can be pinned
+        (``rejoin_after_s``) instead of sampled. Used by churn-evading
+        attack agents that time their own leave/rejoin cycle; pin such
+        peers (:attr:`pinned`) so the sampled cycle does not double-drive
+        them.
+        """
+        if rejoin_after_s is not None and rejoin_after_s <= 0:
+            raise ConfigError("rejoin_after_s must be positive")
+        self._leave(pid, rejoin_after_s=rejoin_after_s)
+
+    def _leave(
+        self, pid: PeerId, rejoin_after_s: Optional[float] = None
+    ) -> None:
         peer = self.network.peers[pid]
         if not peer.online:
             return
@@ -103,7 +120,10 @@ class ChurnProcess:
         peer.go_offline()
         for listener in self.leave_listeners:
             listener(pid)
-        self.sim.schedule_in(self._offtimes.sample(), self._join, pid)
+        offtime = (
+            self._offtimes.sample() if rejoin_after_s is None else rejoin_after_s
+        )
+        self.sim.schedule_in(offtime, self._join, pid)
 
     def fail_stop(self, pid: PeerId) -> None:
         """Mark ``pid`` permanently dead (fault-injected crash).
@@ -130,7 +150,8 @@ class ChurnProcess:
         self.hostcache.mark_online(pid)
         for listener in self.join_listeners:
             listener(pid)
-        self.sim.schedule_in(self._lifetimes.sample(), self._leave, pid)
+        if pid not in self.pinned:
+            self.sim.schedule_in(self._lifetimes.sample(), self._leave, pid)
 
     # ------------------------------------------------------------------
     def online_fraction(self) -> float:

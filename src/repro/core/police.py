@@ -25,6 +25,7 @@ from __future__ import annotations
 import random
 from typing import Dict, Optional, Set
 
+from repro.attack.adaptive import CollusionRing
 from repro.attack.cheating import CheatStrategy, apply_cheat
 from repro.core.buddy import buddy_group_of
 from repro.core.config import DDPoliceConfig, ExchangePolicy
@@ -59,12 +60,21 @@ class DDPoliceEngine:
         *,
         judgment_log: Optional[JudgmentLog] = None,
         cheat_strategy: CheatStrategy = CheatStrategy.HONEST,
+        collusion: Optional[CollusionRing] = None,
         rng: Optional[random.Random] = None,
     ) -> None:
         self.network = network
         self.peer = peer
         self.config = config
         self.cheat_strategy = cheat_strategy
+        #: Set only on compromised peers running the COLLUDE strategy:
+        #: the ring whose members this engine lies for (fabricated
+        #: neighbor-list claims + excusing Neighbor_Traffic answers).
+        self.collusion = (
+            collusion
+            if collusion is not None and peer.id in collusion.members
+            else None
+        )
         self.judgments = judgment_log if judgment_log is not None else JudgmentLog()
         self._rng = rng or random.Random(peer.id.value)
 
@@ -132,12 +142,20 @@ class DDPoliceEngine:
     # step 1: neighbor-list exchange
     # ------------------------------------------------------------------
     def _make_list_msg(self) -> NeighborListMessage:
+        claimed = frozenset(self.peer.neighbors)
+        if self.collusion is not None:
+            # The consistent lie: claim every fellow colluder as a
+            # neighbor. Each of them claims us back, so the pairwise
+            # cross-check of Section 3.2 sees two corroborating lists --
+            # and the fabricated members enlarge the suspect's buddy
+            # group with witnesses that will excuse it.
+            claimed = claimed | (self.collusion.members - {self.peer.id})
         return NeighborListMessage(
             guid=self.network.guid_factory.new(),
             ttl=1,
             hops=0,
             sender=self.peer.id,
-            neighbors=frozenset(self.peer.neighbors),
+            neighbors=claimed,
             sent_at=self.network.now,
         )
 
@@ -415,7 +433,17 @@ class DDPoliceEngine:
                 return
             self._last_report_sent[suspect] = now
         out_q, in_q = self.monitor.report_pair(suspect)
-        reported = apply_cheat(self.cheat_strategy, out_q, in_q)
+        reported = apply_cheat(
+            self.cheat_strategy,
+            out_q,
+            in_q,
+            suspect_is_colluder=(
+                self.collusion is not None and suspect in self.collusion.members
+            ),
+            collude_excuse_qpm=(
+                self.collusion.excuse_qpm if self.collusion is not None else 0.0
+            ),
+        )
         if reported is None:
             return  # SILENT: refuse to report (retries don't change this)
         rep_out, rep_in = reported
@@ -460,8 +488,15 @@ class DDPoliceEngine:
             # No longer (or not yet) in this buddy group, but the question
             # is about the *last minute*: answer the group from our
             # retained counters so a just-closed connection still counts.
+            # A colluder asked about a fellow ring member always answers:
+            # its membership in the BG is itself fabricated (the
+            # consistent neighbor-list lie), so it has no real counters,
+            # only the excuse apply_cheat will produce.
             out_q, in_q = self.monitor.report_pair(suspect)
-            if out_q or in_q:
+            colluding_for = (
+                self.collusion is not None and suspect in self.collusion.members
+            )
+            if out_q or in_q or colluding_for:
                 members = set(self.directory.known_neighbors(suspect))
                 members.add(msg.source)
                 members.discard(self.peer.id)
@@ -640,17 +675,22 @@ def deploy_ddpolice(
     *,
     bad_peers: Optional[Set[PeerId]] = None,
     bad_strategy: CheatStrategy = CheatStrategy.SILENT,
+    collusion: Optional[CollusionRing] = None,
     rng: Optional[random.Random] = None,
 ) -> Dict[PeerId, DDPoliceEngine]:
     """Attach a DD-POLICE engine to every peer in the network.
 
     Good peers report honestly; peers in ``bad_peers`` use
-    ``bad_strategy``. All engines share one :class:`JudgmentLog`
+    ``bad_strategy``. When ``bad_strategy`` is COLLUDE, ``collusion``
+    (default: a ring over ``bad_peers``) arms the compromised engines'
+    coordinated lying. All engines share one :class:`JudgmentLog`
     (accessible on any engine as ``.judgments``).
     """
     bad_peers = bad_peers or set()
     log = JudgmentLog()
     rng = rng or random.Random(0)
+    if collusion is None and bad_strategy is CheatStrategy.COLLUDE and bad_peers:
+        collusion = CollusionRing(members=frozenset(bad_peers))
     engines: Dict[PeerId, DDPoliceEngine] = {}
     for pid, peer in network.peers.items():
         strategy = bad_strategy if pid in bad_peers else CheatStrategy.HONEST
@@ -660,6 +700,7 @@ def deploy_ddpolice(
             config,
             judgment_log=log,
             cheat_strategy=strategy,
+            collusion=collusion if pid in bad_peers else None,
             rng=random.Random(rng.getrandbits(32)),
         )
     return engines

@@ -11,9 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Set, Union
 
+from repro.attack.adaptive import AdaptiveConfig
 from repro.attack.cheating import CheatStrategy
 from repro.attack.scenario import AttackScenario, ScenarioConfig
 from repro.baselines.naive import NaiveCutoffConfig, deploy_naive
+from repro.baselines.traceback import TracebackConfig, deploy_traceback
 from repro.churn.process import ChurnConfig, ChurnProcess
 from repro.core.config import DDPoliceConfig
 from repro.core.police import deploy_ddpolice
@@ -50,10 +52,14 @@ class DESConfig:
     attack_start_s: float = 0.0
     attack_rate_qpm: float = 2000.0
     cheat_strategy: CheatStrategy = CheatStrategy.SILENT
-    #: Defense: "none" | "ddpolice" | "naive".
+    #: Adaptive-adversary strategy ("static" = the paper's flooder; see
+    #: :mod:`repro.attack.adaptive` for throttle/collude/churn/pulse).
+    adaptive: AdaptiveConfig = AdaptiveConfig()
+    #: Defense: "none" | "ddpolice" | "naive" | "traceback".
     defense: str = "none"
     police: DDPoliceConfig = DDPoliceConfig()
     naive_cutoff_qpm: float = 500.0
+    traceback: TracebackConfig = TracebackConfig()
     #: Metrics path: "incremental" (default, O(1) per event, bounded
     #: memory) or "legacy" (full per-minute record scan; forces record
     #: retention). Legacy exists only as the oracle for the equivalence
@@ -80,8 +86,14 @@ class DESConfig:
             raise ConfigError("attack_start_s must be non-negative")
         if self.attack_rate_qpm <= 0:
             raise ConfigError("attack_rate_qpm must be positive")
-        if self.defense not in ("none", "ddpolice", "naive"):
+        if self.defense not in ("none", "ddpolice", "naive", "traceback"):
             raise ConfigError(f"unknown defense {self.defense!r}")
+        if self.adaptive.strategy == "collude" and self.num_agents > 0 and (
+            self.cheat_strategy is not CheatStrategy.COLLUDE
+        ):
+            raise ConfigError(
+                "adaptive strategy 'collude' requires cheat_strategy 'collude'"
+            )
         if self.naive_cutoff_qpm <= 0:
             raise ConfigError("naive_cutoff_qpm must be positive")
         if self.metrics_mode not in ("incremental", "legacy"):
@@ -156,8 +168,14 @@ def run_des_experiment(config: DESConfig) -> DESRun:
     else:
         collector = MetricsCollector(network)
 
+    # Churn-assisted evasion drives a ChurnProcess even when natural
+    # churn is disabled: the evading agents need the leave/rejoin
+    # machinery (host cache, content relocation, listeners) to flee
+    # through. The stream name stays "churn" either way, so enabling
+    # evasion never perturbs a natural-churn run's draws.
+    evading = config.num_agents > 0 and config.adaptive.strategy == "churn"
     churn: Optional[ChurnProcess] = None
-    if config.churn.enabled:
+    if config.churn.enabled or evading:
         churn = ChurnProcess(
             sim, network, config.churn, rng=rngs.stream("churn")
         )
@@ -176,8 +194,14 @@ def run_des_experiment(config: DESConfig) -> DESRun:
                 seed=config.seed,
             ),
             rng=rngs.stream("attack"),
+            adaptive=config.adaptive,
+            churn=churn,
         )
         bad_peers = set(scenario.compromised)
+        if evading and churn is not None:
+            # The agents time their own leave/rejoin cycle; pin them so
+            # the sampled churn cycle cannot double-drive them.
+            churn.pinned.update(bad_peers)
 
     injector: Optional[FaultInjector] = None
     if config.faults.enabled:
@@ -186,17 +210,31 @@ def run_des_experiment(config: DESConfig) -> DESRun:
 
     judgments: Optional[JudgmentLog] = None
     if config.defense == "ddpolice":
+        collusion = None
+        if config.cheat_strategy is CheatStrategy.COLLUDE and bad_peers:
+            from repro.attack.adaptive import CollusionRing
+
+            collusion = CollusionRing(
+                members=frozenset(bad_peers),
+                excuse_qpm=config.adaptive.collude_excuse_qpm,
+            )
         engines = deploy_ddpolice(
             network,
             config.police,
             bad_peers=bad_peers,
             bad_strategy=config.cheat_strategy,
+            collusion=collusion,
             rng=rngs.stream("police"),
         )
         judgments = next(iter(engines.values())).judgments if engines else None
     elif config.defense == "naive":
         defenses = deploy_naive(network, NaiveCutoffConfig(config.naive_cutoff_qpm))
         judgments = next(iter(defenses.values())).judgments if defenses else None
+    elif config.defense == "traceback":
+        tracebacks = deploy_traceback(
+            network, config.traceback, rng=rngs.stream("traceback")
+        )
+        judgments = next(iter(tracebacks.values())).judgments if tracebacks else None
 
     workload = QueryWorkload(
         sim, network, config.workload, rng=rngs.stream("workload"), exclude=set()

@@ -168,3 +168,70 @@ def fault_grid_for(name: str) -> FaultSweepSpec:
 def fault_sweep_spec() -> FaultSweepSpec:
     """Fault-sweep grid for the active ``REPRO_SCALE``."""
     return fault_grid_for(os.environ.get("REPRO_SCALE", "bench").lower())
+
+
+# ----------------------------------------------------------------------
+# robustness matrix: defense x adversary x topology (message-level)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """Sizing of the robustness-matrix runs (DES, like the fault sweep).
+
+    The matrix crosses defenses with adaptive adversaries and overlay
+    topologies, so a full grid is dozens of message-level runs; the
+    populations here are deliberately small (every Neighbor_Traffic
+    message is simulated). ``k > n`` and degenerate attack windows are
+    rejected at construction -- spec-parse time under the dotted-path
+    override machinery.
+    """
+
+    name: str
+    n_peers: int
+    sim_minutes: int
+    attack_start_min: int
+    trials: int
+    num_agents: int
+    attack_rate_qpm: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("name must be non-empty")
+        if self.n_peers < 10:
+            raise ConfigError("n_peers must be >= 10")
+        if self.attack_start_min < 0:
+            raise ConfigError("attack_start_min must be non-negative")
+        if self.sim_minutes <= self.attack_start_min:
+            raise ConfigError("sim_minutes must exceed attack_start_min")
+        if self.trials < 1:
+            raise ConfigError("trials must be >= 1")
+        if not (0 < self.num_agents < self.n_peers):
+            raise ConfigError(
+                f"num_agents out of range (need 0 < k < n, got "
+                f"k={self.num_agents}, n={self.n_peers})"
+            )
+        if self.attack_rate_qpm <= 0:
+            raise ConfigError("attack_rate_qpm must be positive")
+
+
+def matrix_grid_for(name: str) -> MatrixSpec:
+    """Robustness-matrix sizing for a named scale (smoke shrinks runs)."""
+    if name == "smoke":
+        return MatrixSpec(
+            name="smoke",
+            n_peers=30,
+            sim_minutes=5,
+            attack_start_min=2,
+            trials=1,
+            num_agents=2,
+            attack_rate_qpm=600.0,
+        )
+    return MatrixSpec(
+        name=name,
+        n_peers=30,
+        sim_minutes=6,
+        attack_start_min=2,
+        trials=2,
+        num_agents=2,
+        attack_rate_qpm=600.0,
+    )

@@ -43,12 +43,15 @@ from typing import (
     Union,
 )
 
+from repro.attack.adaptive import ADAPTIVE_STRATEGIES, AdaptiveConfig
 from repro.attack.cheating import CheatStrategy
+from repro.baselines.traceback import TracebackConfig
 from repro.core.config import DDPoliceConfig
 from repro.errors import ConfigError, MetricsError
 from repro.exec import ExecStats, pmap
 from repro.experiments.scenarios import (
     FaultSweepSpec,
+    MatrixSpec,
     Scale,
     bench_scale,
 )
@@ -132,8 +135,19 @@ class GridSpec:
     periods_min: Tuple[int, ...] = ()
     #: Fault-sweep evidence profiles; empty = ("paper", "hardened").
     profiles: Tuple[str, ...] = ()
+    #: Robustness-matrix adversary strategies; empty = scenario default.
+    adversaries: Tuple[str, ...] = ()
+    #: Robustness-matrix overlay topology models; empty = scenario default.
+    topologies: Tuple[str, ...] = ()
+    #: Robustness-matrix defense rows; empty = scenario default.
+    defenses: Tuple[str, ...] = ()
     #: Simulated minutes; 0 = derive from the scale.
     minutes: int = 0
+
+    #: Valid robustness-matrix axis values (checked at spec-parse time so
+    #: a typo'd ``--set grid.adversaries=...`` fails before any run).
+    _MATRIX_TOPOLOGIES = ("ba", "waxman", "random", "two_tier", "hard_cutoff", "bittorrent")
+    _MATRIX_DEFENSES = ("paper", "hardened", "traceback")
 
     def __post_init__(self) -> None:
         if any(k < 0 for k in self.agent_counts):
@@ -146,6 +160,24 @@ class GridSpec:
             raise ConfigError("cut_thresholds must be positive")
         if any(p < 1 for p in self.periods_min):
             raise ConfigError("periods_min must be >= 1")
+        for adv in self.adversaries:
+            if adv not in ADAPTIVE_STRATEGIES:
+                raise ConfigError(
+                    f"adversaries: unknown strategy {adv!r} "
+                    f"(valid: {', '.join(ADAPTIVE_STRATEGIES)})"
+                )
+        for topo in self.topologies:
+            if topo not in self._MATRIX_TOPOLOGIES:
+                raise ConfigError(
+                    f"topologies: unknown model {topo!r} "
+                    f"(valid: {', '.join(self._MATRIX_TOPOLOGIES)})"
+                )
+        for d in self.defenses:
+            if d not in self._MATRIX_DEFENSES:
+                raise ConfigError(
+                    f"defenses: unknown defense {d!r} "
+                    f"(valid: {', '.join(self._MATRIX_DEFENSES)})"
+                )
         if self.minutes < 0:
             raise ConfigError("minutes must be non-negative")
 
@@ -182,6 +214,20 @@ class ExperimentSpec:
         num_agents=2,
         attack_rate_qpm=600.0,
     )
+    #: Adaptive-adversary layer (robustness matrix; "static" elsewhere).
+    adversary: AdaptiveConfig = AdaptiveConfig()
+    #: Robustness-matrix sizing (DES; mirrors the ``faults`` pattern).
+    matrix: MatrixSpec = MatrixSpec(
+        name="bench",
+        n_peers=30,
+        sim_minutes=6,
+        attack_start_min=2,
+        trials=2,
+        num_agents=2,
+        attack_rate_qpm=600.0,
+    )
+    #: PPM traceback baseline parameters (the matrix's third defense).
+    traceback: TracebackConfig = TracebackConfig()
     grid: GridSpec = GridSpec()
     tables: Tuple[str, ...] = ()
 
@@ -194,6 +240,20 @@ class ExperimentSpec:
             raise ConfigError("trials must be >= 1")
         if self.seed < 0:
             raise ConfigError("seed must be non-negative")
+        # k > n is a spec bug, not a runtime surprise: reject it here so
+        # a bad --set override dies at parse time, naming the path.
+        n = self.scale.n_peers
+        if self.grid.agents > n:
+            raise ConfigError(
+                f"grid.agents: cannot compromise {self.grid.agents} of "
+                f"{n} peers (k must not exceed scale.n_peers)"
+            )
+        for k in self.grid.agent_counts:
+            if k > n:
+                raise ConfigError(
+                    f"grid.agent_counts: cannot compromise {k} of "
+                    f"{n} peers (k must not exceed scale.n_peers)"
+                )
 
 
 def spec_sha256(spec: ExperimentSpec) -> str:
@@ -443,9 +503,23 @@ class Case:
     faults: FaultPlan = FaultPlan()
     #: DES topology attachment parameter override (None = default).
     ba_m: Optional[int] = None
+    #: DES topology model override (None = default BA); the fluid
+    #: backend is topology-free and rejects any override.
+    topology: Optional[str] = None
+    #: Adaptive-adversary behaviour (DES backend only).
+    adaptive: AdaptiveConfig = AdaptiveConfig()
+    #: PPM traceback parameters (used when ``defense == "traceback"``).
+    traceback: TracebackConfig = TracebackConfig()
     #: First minute of the steady-state window; None skips steady means.
     settle_min: Optional[int] = None
     obs: Optional[ObsConfig] = None
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.num_agents <= self.n):
+            raise ConfigError(
+                f"num_agents: cannot compromise {self.num_agents} of "
+                f"{self.n} peers (k must not exceed n)"
+            )
 
 
 @dataclass(frozen=True)
@@ -464,6 +538,14 @@ class CaseResult:
     online_mean: float
     #: Total churn events (fluid; the event-driven overhead model).
     churn_events: int
+    #: Mean seconds from attack start to each attacker's first
+    #: disconnection, *censored*: an attacker never caught contributes
+    #: the full remaining run (duration - attack_start), so total
+    #: evasion reads as the worst possible latency rather than
+    #: vanishing from the mean. None when the case had no attackers.
+    detection_latency_s: Optional[float] = None
+    caught_attackers: int = 0
+    total_attackers: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -541,6 +623,26 @@ def _fluid_case_task(case: Case) -> CaseResult:
     """One fluid-model case (pure, picklable): build config, run, extract."""
     from repro.fluid.model import FluidConfig
 
+    # The fluid model is topology-free, simulates the *static* flooder,
+    # and aggregates Neighbor_Traffic without per-report collusion
+    # semantics -- reject matrix-only features loudly rather than run a
+    # simulation that silently ignores them.
+    if case.adaptive.strategy != "static":
+        raise ConfigError(
+            f"backend 'fluid' cannot simulate adaptive strategy "
+            f"{case.adaptive.strategy!r} (DES only)"
+        )
+    if case.topology is not None:
+        raise ConfigError(
+            f"backend 'fluid' is topology-free; cannot honor topology "
+            f"{case.topology!r} (DES only)"
+        )
+    if case.defense == "traceback":
+        raise ConfigError("backend 'fluid' has no traceback defense (DES only)")
+    if case.workload.cheat is CheatStrategy.COLLUDE:
+        raise ConfigError(
+            "backend 'fluid' cannot simulate cheat_strategy 'collude' (DES only)"
+        )
     kwargs: Dict[str, Any] = dict(
         n=case.n,
         seed=case.seed,
@@ -574,6 +676,25 @@ def des_case_result(cfg: Any, settle_min: Optional[int] = None) -> CaseResult:
         fn, fp = errors.false_negative, errors.false_positive
     else:
         fn = fp = 0
+    latency: Optional[float] = None
+    caught = 0
+    if run.bad_peers:
+        first_cut: Dict[Any, float] = {}
+        if run.judgments is not None:
+            for j in run.judgments.judgments:
+                if j.disconnected and j.suspect in run.bad_peers:
+                    if j.suspect not in first_cut or j.time < first_cut[j.suspect]:
+                        first_cut[j.suspect] = j.time
+        caught = len(first_cut)
+        # Censored mean: an attacker that evades detection for the whole
+        # run contributes (duration - attack_start), so "never caught"
+        # is numerically worse than any real detection.
+        censored = cfg.duration_s - cfg.attack_start_s
+        samples = [
+            max(0.0, first_cut[b] - cfg.attack_start_s) if b in first_cut else censored
+            for b in sorted(run.bad_peers, key=lambda p: p.value)
+        ]
+        latency = sum(samples) / len(samples)
     steady: Optional[Tuple[float, float, float]] = None
     if settle_min is not None:
         settle_s = settle_min * 60.0
@@ -593,6 +714,9 @@ def des_case_result(cfg: Any, settle_min: Optional[int] = None) -> CaseResult:
         false_positive=fp,
         online_mean=0.0,
         churn_events=0,
+        detection_latency_s=latency,
+        caught_attackers=caught,
+        total_attackers=len(run.bad_peers),
     )
 
 
@@ -603,10 +727,12 @@ def _des_case_task(case: Case) -> CaseResult:
     from repro.overlay.topology import TopologyConfig
     from repro.workload.generator import WorkloadConfig
 
+    topo_kwargs: Dict[str, Any] = dict(n=case.n, seed=case.seed)
     if case.ba_m is not None:
-        topology = TopologyConfig(n=case.n, ba_m=case.ba_m, seed=case.seed)
-    else:
-        topology = TopologyConfig(n=case.n, seed=case.seed)
+        topo_kwargs["ba_m"] = case.ba_m
+    if case.topology is not None:
+        topo_kwargs["model"] = case.topology
+    topology = TopologyConfig(**topo_kwargs)
     kwargs: Dict[str, Any] = dict(
         n=case.n,
         duration_s=case.minutes * 60.0,
@@ -620,8 +746,10 @@ def _des_case_task(case: Case) -> CaseResult:
         attack_start_s=case.attack_start_min * 60.0,
         attack_rate_qpm=case.workload.attack_rate_qpm,
         cheat_strategy=case.workload.cheat,
+        adaptive=case.adaptive,
         defense=case.defense,
         police=case.police,
+        traceback=case.traceback,
         faults=case.faults,
     )
     if case.obs is not None:

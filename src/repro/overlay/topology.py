@@ -12,7 +12,13 @@ one of BRITE's standard modes. We implement:
 * :func:`waxman` -- distance-probability random graph (BRITE "Waxman"
   mode), provided for sensitivity studies,
 * :func:`random_regularish` -- Erdos-Renyi-style with a target mean degree,
-  a baseline without a heavy tail.
+  a baseline without a heavy tail,
+* :func:`hard_cutoff_scale_free` -- preferential attachment with a hard
+  degree cutoff (Guclu & Yuksel): saturated nodes leave the attachment
+  pool, truncating the power-law tail -- no mega-hubs to amplify (or
+  choke on) a flood,
+* :func:`bittorrent_like` -- tracker-style uniform-random peer selection
+  with min/max peer-set bounds, the flat-degree swarm profile.
 
 All generators return a :class:`Topology`: an undirected simple graph over
 node ids ``0..n-1`` stored as adjacency sets, guaranteed connected.
@@ -122,22 +128,43 @@ class TopologyConfig:
     waxman_beta: float = 0.4
     target_mean_degree: float = 6.0
     super_fraction: float = 0.15
+    #: hard_cutoff: maximum degree; saturated nodes stop accepting links.
+    degree_cutoff: int = 12
+    #: bittorrent: peer-set bounds handed out by the "tracker".
+    bt_min_peers: int = 4
+    bt_max_peers: int = 12
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.n < 2:
             raise TopologyError(f"need at least 2 nodes, got {self.n}")
-        if self.model not in ("ba", "waxman", "random", "two_tier"):
+        if self.model not in (
+            "ba", "waxman", "random", "two_tier", "hard_cutoff", "bittorrent"
+        ):
             raise TopologyError(f"unknown topology model {self.model!r}")
         if self.ba_m < 1:
             raise TopologyError(f"ba_m must be >= 1, got {self.ba_m}")
-        if self.model == "ba" and self.n <= self.ba_m:
+        if self.model in ("ba", "hard_cutoff") and self.n <= self.ba_m:
             raise TopologyError(
                 f"BA needs n > m ({self.n} <= {self.ba_m})"
             )
         if not (0 < self.super_fraction < 1):
             raise TopologyError(
                 f"super_fraction must be in (0,1), got {self.super_fraction}"
+            )
+        if self.degree_cutoff <= self.ba_m:
+            raise TopologyError(
+                f"degree_cutoff must exceed ba_m "
+                f"({self.degree_cutoff} <= {self.ba_m})"
+            )
+        if self.bt_min_peers < 1:
+            raise TopologyError(
+                f"bt_min_peers must be >= 1, got {self.bt_min_peers}"
+            )
+        if self.bt_max_peers < self.bt_min_peers:
+            raise TopologyError(
+                f"bt_max_peers < bt_min_peers "
+                f"({self.bt_max_peers} < {self.bt_min_peers})"
             )
 
 
@@ -169,6 +196,91 @@ def barabasi_albert(n: int, m: int, rng: random.Random) -> Topology:
             repeated.append(u)
             repeated.append(v)
     return Topology(n=n, adjacency=adjacency, kind="ba")
+
+
+def hard_cutoff_scale_free(
+    n: int, m: int, cutoff: int, rng: random.Random
+) -> Topology:
+    """Preferential attachment with a hard degree cutoff.
+
+    Guclu & Yuksel ("Scale-Free Overlay Topologies with Hard Cutoffs"):
+    grow a BA graph, but a node whose degree reaches ``cutoff`` leaves
+    the attachment pool and accepts no further links. The power-law tail
+    is truncated at the cutoff -- the overlay keeps BA's short paths but
+    has no mega-hubs, which changes how a flood concentrates.
+    """
+    if n <= m:
+        raise TopologyError(f"BA requires n > m (n={n}, m={m})")
+    if cutoff <= m:
+        raise TopologyError(f"cutoff must exceed m ({cutoff} <= {m})")
+    adjacency: List[Set[int]] = [set() for _ in range(n)]
+    repeated: List[int] = []  # node repeated once per incident edge
+    for u in range(m + 1):
+        for v in range(u + 1, m + 1):
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+            repeated.append(u)
+            repeated.append(v)
+    for u in range(m + 1, n):
+        targets: Set[int] = set()
+        attempts = 0
+        # Preferential attachment over *unsaturated* nodes: saturated
+        # candidates are rejected. New arrivals keep the eligible pool
+        # non-empty (their degree m is below the cutoff), so the uniform
+        # fallback only triggers when the preferential mass concentrates
+        # on saturated nodes.
+        while len(targets) < m and attempts < 50 * m:
+            attempts += 1
+            cand = repeated[rng.randrange(len(repeated))]
+            if cand not in targets and len(adjacency[cand]) < cutoff:
+                targets.add(cand)
+        if len(targets) < m:
+            eligible = [
+                v
+                for v in range(u)
+                if len(adjacency[v]) < cutoff and v not in targets
+            ]
+            while len(targets) < m and eligible:
+                targets.add(eligible.pop(rng.randrange(len(eligible))))
+        for v in targets:
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+            repeated.append(u)
+            repeated.append(v)
+    return Topology(n=n, adjacency=adjacency, kind="hard_cutoff")
+
+
+def bittorrent_like(
+    n: int, min_peers: int, max_peers: int, rng: random.Random
+) -> Topology:
+    """Tracker-style swarm wiring: uniform-random bounded peer sets.
+
+    Nodes join sequentially; each asks the "tracker" for ``min_peers``
+    uniform-random existing peers that still have capacity (degree below
+    ``max_peers``) and connects to all of them. No preferential
+    attachment: degrees are flat-random and capped, the BitTorrent swarm
+    profile rather than Gnutella's heavy tail.
+    """
+    if min_peers < 1 or max_peers < min_peers:
+        raise TopologyError(
+            f"need 1 <= min_peers <= max_peers (got {min_peers}, {max_peers})"
+        )
+    adjacency: List[Set[int]] = [set() for _ in range(n)]
+    open_slots: List[int] = [0]  # ids with degree < max_peers, in join order
+    for u in range(1, n):
+        want = min(min_peers, len(open_slots))
+        chosen = rng.sample(open_slots, want)
+        for v in chosen:
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+            if len(adjacency[v]) >= max_peers:
+                open_slots.remove(v)
+        if len(adjacency[u]) < max_peers:
+            open_slots.append(u)
+    topo = Topology(n=n, adjacency=adjacency, kind="bittorrent")
+    if not topo.is_connected():
+        _stitch_components(topo, rng)
+    return topo
 
 
 def waxman(
@@ -289,6 +401,14 @@ def generate_topology(config: TopologyConfig) -> Topology:
     rng = random.Random(config.seed)
     if config.model == "ba":
         topo = barabasi_albert(config.n, config.ba_m, rng)
+    elif config.model == "hard_cutoff":
+        topo = hard_cutoff_scale_free(
+            config.n, config.ba_m, config.degree_cutoff, rng
+        )
+    elif config.model == "bittorrent":
+        topo = bittorrent_like(
+            config.n, config.bt_min_peers, config.bt_max_peers, rng
+        )
     elif config.model == "waxman":
         topo = waxman(config.n, config.waxman_alpha, config.waxman_beta, rng)
     elif config.model == "two_tier":

@@ -36,3 +36,30 @@ def test_negative_counts_rejected():
 def test_zero_counts_stable():
     for strategy in (CheatStrategy.HONEST, CheatStrategy.INFLATE, CheatStrategy.DEFLATE):
         assert apply_cheat(strategy, 0, 0) == (0, 0)
+
+
+def test_collude_excuses_a_fellow_colluder():
+    # "I sent j everything it emitted, it sent me nothing": fabricated
+    # outgoing count, zeroed incoming, regardless of the true counts.
+    out, inc = apply_cheat(
+        CheatStrategy.COLLUDE, 0, 4000,
+        suspect_is_colluder=True, collude_excuse_qpm=2000.0,
+    )
+    assert (out, inc) == (2000, 0)
+
+
+def test_collude_reports_honestly_about_outsiders():
+    # About non-colluders the reporter blends in -- it must not trip the
+    # Section 3.4 inflate/deflate analysis on its own account.
+    assert apply_cheat(
+        CheatStrategy.COLLUDE, 120, 30,
+        suspect_is_colluder=False, collude_excuse_qpm=2000.0,
+    ) == (120, 30)
+
+
+def test_collude_negative_excuse_rejected():
+    with pytest.raises(ConfigError):
+        apply_cheat(
+            CheatStrategy.COLLUDE, 0, 0,
+            suspect_is_colluder=True, collude_excuse_qpm=-1.0,
+        )

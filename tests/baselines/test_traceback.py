@@ -1,0 +1,113 @@
+"""Unit tests for the probabilistic packet-marking traceback baseline."""
+
+import random
+
+import pytest
+
+from repro.attack.agent import AgentConfig, DDoSAgent
+from repro.baselines.traceback import (
+    TracebackConfig,
+    TracebackDefense,
+    deploy_traceback,
+)
+from repro.errors import ConfigError
+from repro.overlay.ids import PeerId
+from repro.overlay.message import Bye
+from tests.conftest import make_network
+
+TREE = {0: {1, 2, 3}, 1: {4, 5}, 2: {6, 7}, 3: {8, 9}}
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        TracebackConfig(mark_prob=0.0)
+    with pytest.raises(ConfigError):
+        TracebackConfig(mark_prob=1.1)
+    with pytest.raises(ConfigError):
+        TracebackConfig(marks_to_identify=0)
+    with pytest.raises(ConfigError):
+        TracebackConfig(window_minutes=0)
+
+
+def test_flooding_edge_identified():
+    sim, net = make_network(TREE, seed=1)
+    defenses = deploy_traceback(net, rng=random.Random(1))
+    agent = DDoSAgent(sim, net, PeerId(0), AgentConfig(nominal_rate_qpm=3000.0))
+    agent.start()
+    sim.run(until=180.0)
+    log = defenses[PeerId(1)].judgments  # shared log
+    assert PeerId(0) in log.disconnected_suspects()
+    judged = [j for j in log.judgments if j.suspect == PeerId(0)]
+    assert all(j.reason == "traceback" for j in judged)
+
+
+def test_forwarder_blindness():
+    # PPM's defining weakness at the overlay layer: marks name the
+    # upstream edge, not the originator, so peers forwarding the flood
+    # get convicted alongside the attacker.
+    sim, net = make_network(TREE, seed=2)
+    defenses = deploy_traceback(net, rng=random.Random(2))
+    agent = DDoSAgent(sim, net, PeerId(0), AgentConfig(nominal_rate_qpm=6000.0))
+    agent.start()
+    sim.run(until=180.0)
+    cut = defenses[PeerId(0)].judgments.disconnected_suspects()
+    assert cut - {PeerId(0)}, "forwarders should be indistinguishable"
+
+
+def test_quiet_network_untouched():
+    from repro.workload.generator import QueryWorkload, WorkloadConfig
+
+    sim, net = make_network(TREE, seed=3)
+    defenses = deploy_traceback(net, rng=random.Random(3))
+    wl = QueryWorkload(sim, net, WorkloadConfig(queries_per_minute=2.0, seed=3))
+    wl.start()
+    sim.run(until=300.0)
+    assert defenses[PeerId(0)].judgments.disconnected_suspects() == set()
+
+
+def test_marks_are_sampled_not_counted():
+    # mark_prob=1 turns the Binomial into the raw count: the threshold
+    # then behaves exactly like a rate cutoff over the window.
+    sim, net = make_network({0: {1}}, seed=4)
+    defense = TracebackDefense(
+        net, net.peers[PeerId(1)],
+        TracebackConfig(mark_prob=1.0, marks_to_identify=10, window_minutes=1),
+        rng=random.Random(4),
+    )
+    for i in range(9):  # under the threshold
+        net.peers[PeerId(0)].issue_query(("nosuch", f"id9{i}"))
+    sim.run(until=65.0)
+    assert defense.disconnects_issued == 0
+
+
+def test_cut_uses_traceback_bye_reason():
+    sim, net = make_network({0: {1}}, seed=5)
+    defense = TracebackDefense(
+        net, net.peers[PeerId(1)],
+        TracebackConfig(mark_prob=1.0, marks_to_identify=5, window_minutes=1),
+        rng=random.Random(5),
+    )
+    for i in range(20):
+        net.peers[PeerId(0)].issue_query(("nosuch", f"idx{i}"))
+    sim.run(until=65.0)
+    assert defense.disconnects_issued == 1
+    assert PeerId(0) not in net.peers[PeerId(1)].neighbors
+    assert Bye.REASON_TRACEBACK == 4
+
+
+def test_deterministic_under_seed():
+    def run(seed):
+        sim, net = make_network(TREE, seed=6)
+        defenses = deploy_traceback(net, rng=random.Random(seed))
+        agent = DDoSAgent(
+            sim, net, PeerId(0), AgentConfig(nominal_rate_qpm=3000.0)
+        )
+        agent.start()
+        sim.run(until=180.0)
+        log = defenses[PeerId(0)].judgments
+        return sorted(
+            (j.time, j.observer.value, j.suspect.value) for j in log.judgments
+        )
+
+    assert run(9) == run(9)
+    assert run(9) != run(10)

@@ -104,3 +104,27 @@ def test_config_validation():
         ChurnConfig(join_degree_min=0)
     with pytest.raises(ConfigError):
         ChurnConfig(join_degree_min=5, join_degree_max=4)
+
+
+def test_depart_with_pinned_offtime():
+    # Voluntary leave on the natural-churn path, but with the off-time
+    # fixed by the caller (the churn-evading agents' flee cycle).
+    sim, net, churn = make(config=ChurnConfig(enabled=False))
+    churn.depart(PeerId(0), rejoin_after_s=40.0)
+    assert not net.peers[PeerId(0)].online
+    assert net.peers[PeerId(0)].neighbors == set()
+    sim.run(until=39.0)
+    assert not net.peers[PeerId(0)].online
+    sim.run(until=45.0)
+    assert net.peers[PeerId(0)].online  # back exactly after the pin
+    assert net.peers[PeerId(0)].neighbors  # with fresh connections
+
+
+def test_depart_validation_and_offline_noop():
+    sim, net, churn = make(config=ChurnConfig(enabled=False))
+    with pytest.raises(ConfigError):
+        churn.depart(PeerId(0), rejoin_after_s=0.0)
+    churn.depart(PeerId(0), rejoin_after_s=10.0)
+    leaves = churn.leaves
+    churn.depart(PeerId(0), rejoin_after_s=10.0)  # already offline
+    assert churn.leaves == leaves

@@ -1,0 +1,88 @@
+"""Unit tests for the robustness-matrix scenario plumbing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.library import (
+    MatrixRow,
+    _matrix_axes,
+    format_robustness_matrix,
+    run_spec,
+    spec_at_scale,
+)
+from repro.experiments.spec import get_spec
+
+TINY_OVERRIDES = {
+    "matrix.n_peers": "20",
+    "matrix.sim_minutes": "3",
+    "matrix.attack_start_min": "1",
+    "matrix.trials": "1",
+    "matrix.num_agents": "1",
+    "grid.defenses": "paper",
+    "grid.adversaries": "throttle",
+    "grid.topologies": "ba",
+}
+
+
+@pytest.fixture(scope="module")
+def tiny_run():
+    return run_spec(
+        "robustness-matrix", overrides=TINY_OVERRIDES, workers=1, cache=False
+    )
+
+
+def test_tiny_matrix_shape(tiny_run):
+    assert tiny_run.cases == 2  # one clean baseline + one attacked cell
+    (row,) = tiny_run.data
+    assert (row.defense, row.adversary, row.topology) == ("paper", "throttle", "ba")
+    assert row.total_attackers == 1
+    assert row.trials == 1
+
+
+def test_tiny_matrix_metrics_in_range(tiny_run):
+    (row,) = tiny_run.data
+    censored = (3 - 1) * 60.0
+    assert 0.0 <= row.detection_latency_s <= censored
+    assert 0.0 <= row.caught_attackers <= row.total_attackers
+    assert row.false_negative >= 0.0
+    assert 0.0 <= row.damage_pct <= 100.0
+
+
+def test_tiny_matrix_table_renders(tiny_run):
+    table = tiny_run.tables["robustness_matrix"]
+    assert "defense" in table and "latency_s" in table
+    assert "paper" in table and "throttle" in table
+
+
+def test_explicit_grid_axes_win_over_defaults():
+    spec = spec_at_scale(get_spec("robustness-matrix"), "smoke")
+    assert _matrix_axes(spec) == (
+        ("paper", "traceback"), ("static", "throttle", "pulse"), ("ba",)
+    )
+    bench = get_spec("robustness-matrix")
+    defenses, adversaries, topologies = _matrix_axes(bench)
+    assert "hardened" in defenses
+    assert set(adversaries) == {"static", "throttle", "collude", "churn", "pulse"}
+    assert "bittorrent" in topologies
+
+
+def test_format_includes_censoring_legend():
+    ms = spec_at_scale(get_spec("robustness-matrix"), "smoke").matrix
+    row = MatrixRow(
+        defense="paper", adversary="static", topology="ba",
+        detection_latency_s=65.0, caught_attackers=2.0, total_attackers=2,
+        false_negative=0.0, damage_pct=12.5, trials=1,
+    )
+    table = format_robustness_matrix(ms, [row])
+    assert "censored" in table
+    assert "2.0/2" in table
+
+
+def test_collude_requires_matching_cheat():
+    from repro.attack.adaptive import AdaptiveConfig
+    from repro.experiments.runner import DESConfig
+
+    with pytest.raises(ConfigError, match="requires cheat_strategy 'collude'"):
+        DESConfig(
+            n=20, num_agents=2, adaptive=AdaptiveConfig(strategy="collude")
+        )

@@ -34,6 +34,7 @@ ALL_SPECS = (
     "fig14",
     "exchange",
     "fault-sweep",
+    "robustness-matrix",
 )
 
 
@@ -202,6 +203,12 @@ def test_spec_at_scale_by_name():
     assert spec.faults.name == "smoke"
 
 
+def test_spec_at_scale_swaps_matrix_sizing():
+    spec = spec_at_scale(get_spec("robustness-matrix"), "smoke")
+    assert spec.matrix.name == "smoke"
+    assert spec.matrix.trials == 1
+
+
 def test_spec_at_scale_unknown_name():
     with pytest.raises(ConfigError, match="unknown scale 'galactic'"):
         spec_at_scale(get_spec("fig9"), "galactic")
@@ -223,6 +230,68 @@ def test_grid_validation():
         GridSpec(cut_thresholds=(0.0,))
     with pytest.raises(ConfigError, match="periods_min must be >= 1"):
         GridSpec(periods_min=(0,))
+
+
+def test_grid_matrix_axes_validated():
+    with pytest.raises(ConfigError, match="unknown strategy 'stealth'"):
+        GridSpec(adversaries=("stealth",))
+    with pytest.raises(ConfigError, match="unknown.*model"):
+        GridSpec(topologies=("torus",))
+    with pytest.raises(ConfigError, match="unknown defense 'firewall'"):
+        GridSpec(defenses=("firewall",))
+
+
+def test_grid_agents_cannot_exceed_population():
+    # k > n dies at spec construction, before any case is built.
+    with pytest.raises(ConfigError, match="cannot compromise.*k must not exceed"):
+        apply_overrides(
+            get_spec("fig9"),
+            {"grid.agents": "999999", "scale.n_peers": "300"},
+        )
+
+
+def test_adversary_knobs_overridable_by_dotted_path():
+    out = apply_overrides(
+        get_spec("robustness-matrix"),
+        {"adversary.strategy": "pulse", "adversary.pulse_duty": "0.25"},
+    )
+    assert out.adversary.strategy == "pulse"
+    assert out.adversary.pulse_duty == 0.25
+    with pytest.raises(ConfigError, match="invalid --set adversary.strategy"):
+        apply_overrides(
+            get_spec("robustness-matrix"), {"adversary.strategy": "stealth"}
+        )
+
+
+def test_matrix_num_agents_bounds():
+    from repro.experiments.scenarios import MatrixSpec
+
+    with pytest.raises(ConfigError, match="0 < k < n"):
+        MatrixSpec(
+            name="x", n_peers=20, sim_minutes=5, attack_start_min=1,
+            trials=1, num_agents=20, attack_rate_qpm=600.0,
+        )
+
+
+def test_case_rejects_overfull_botnet():
+    from repro.experiments.spec import Case
+
+    with pytest.raises(ConfigError, match="k must not exceed n"):
+        Case(n=10, minutes=3, seed=0, num_agents=11)
+
+
+def test_fluid_backend_rejects_des_only_features():
+    from repro.attack.adaptive import AdaptiveConfig
+    from repro.experiments.spec import Case
+
+    task = get_backend("fluid").task_fn
+    with pytest.raises(ConfigError, match="adaptive strategy.*DES only"):
+        task(Case(n=300, minutes=3, seed=0,
+                  adaptive=AdaptiveConfig(strategy="pulse")))
+    with pytest.raises(ConfigError, match="topology.*DES only"):
+        task(Case(n=300, minutes=3, seed=0, topology="bittorrent"))
+    with pytest.raises(ConfigError, match="traceback.*DES only"):
+        task(Case(n=300, minutes=3, seed=0, defense="traceback"))
 
 
 def test_spec_validation():

@@ -9,8 +9,10 @@ from repro.overlay.topology import (
     Topology,
     TopologyConfig,
     barabasi_albert,
+    bittorrent_like,
     degree_statistics,
     generate_topology,
+    hard_cutoff_scale_free,
     random_regularish,
     waxman,
 )
@@ -66,8 +68,45 @@ def test_random_regularish_mean_degree():
     assert topo.is_connected()
 
 
+def test_hard_cutoff_truncates_the_tail():
+    topo = hard_cutoff_scale_free(300, 2, 8, random.Random(5))
+    assert topo.is_connected()
+    degrees = [len(a) for a in topo.adjacency]
+    assert max(degrees) <= 8  # no mega-hubs
+    # An uncapped BA graph of the same size does grow a hub past the
+    # cutoff, so the cap is doing real work.
+    ba = barabasi_albert(300, 2, random.Random(5))
+    assert max(len(a) for a in ba.adjacency) > 8
+
+
+def test_hard_cutoff_validation():
+    with pytest.raises(TopologyError):
+        hard_cutoff_scale_free(10, 2, 2, random.Random(0))  # cutoff <= m
+    with pytest.raises(TopologyError):
+        hard_cutoff_scale_free(2, 2, 5, random.Random(0))  # n <= m
+    with pytest.raises(TopologyError):
+        TopologyConfig(n=50, model="hard_cutoff", ba_m=3, degree_cutoff=3)
+
+
+def test_bittorrent_degrees_bounded_and_connected():
+    topo = bittorrent_like(200, 4, 12, random.Random(7))
+    assert topo.is_connected()
+    degrees = [len(a) for a in topo.adjacency]
+    assert max(degrees) <= 12
+    # Flat-random swarm profile, not Gnutella's heavy tail: the mean
+    # sits well above min_peers because later joiners keep attaching.
+    assert sum(degrees) / len(degrees) >= 4
+
+
+def test_bittorrent_validation():
+    with pytest.raises(TopologyError):
+        bittorrent_like(20, 0, 5, random.Random(0))
+    with pytest.raises(TopologyError):
+        bittorrent_like(20, 6, 5, random.Random(0))
+
+
 def test_generate_topology_dispatch():
-    for model in ("ba", "waxman", "random"):
+    for model in ("ba", "waxman", "random", "hard_cutoff", "bittorrent"):
         topo = generate_topology(TopologyConfig(n=120, model=model, seed=9))
         assert topo.n == 120
         assert topo.is_connected()
