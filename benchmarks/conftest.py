@@ -19,6 +19,23 @@ from repro.obs.manifest import atomic_write_text, write_manifest
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
+ENGINES = ("message", "soa", "both")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--engine",
+        default="both",
+        choices=ENGINES,
+        help="restrict engine-sweep benches to one DES engine",
+    )
+
+
+@pytest.fixture(scope="session")
+def engine_filter(request) -> str:
+    """Which engines the throughput sweeps should run: message|soa|both."""
+    return request.config.getoption("--engine")
+
 
 @pytest.fixture(scope="session")
 def results_dir() -> Path:

@@ -669,7 +669,24 @@ def des_case_result(cfg: Any, settle_min: Optional[int] = None) -> CaseResult:
     """
     from repro.experiments.runner import run_des_experiment
 
-    run = run_des_experiment(cfg)
+    return _extract_case_result(run_des_experiment(cfg), cfg, settle_min)
+
+
+def soa_case_result(cfg: Any, settle_min: Optional[int] = None) -> CaseResult:
+    """Run one config on the batched SoA engine and extract.
+
+    Same extraction contract as :func:`des_case_result` -- the two run
+    objects expose the same collector/judgment surface by design.
+    """
+    from repro.overlay.soa_network import run_soa_experiment
+
+    return _extract_case_result(run_soa_experiment(cfg), cfg, settle_min)
+
+
+def _extract_case_result(
+    run: Any, cfg: Any, settle_min: Optional[int] = None
+) -> CaseResult:
+    """Map a finished message/SoA run to the backend result contract."""
     success = run.collector.success_series()
     if run.judgments is not None:
         errors = run.error_counts()
@@ -757,6 +774,53 @@ def _des_case_task(case: Case) -> CaseResult:
     return des_case_result(DESConfig(**kwargs), case.settle_min)
 
 
+def _soa_case_task(case: Case) -> CaseResult:
+    """One batched SoA case (pure, picklable): build config, run, extract.
+
+    Builds the same :class:`DESConfig` as the ``des`` backend except that
+    hop-latency jitter is pinned to zero -- the wave-batched engine
+    coalesces same-timestamp deliveries, which requires the deterministic
+    hop grid. Unsupported feature combinations (churn, faults, traceback,
+    non-silent cheats, ...) are rejected loudly by the engine itself.
+    """
+    from repro.experiments.runner import DESConfig
+    from repro.overlay.network import NetworkConfig
+    from repro.overlay.topology import TopologyConfig
+    from repro.workload.generator import WorkloadConfig
+
+    topo_kwargs: Dict[str, Any] = dict(n=case.n, seed=case.seed)
+    if case.ba_m is not None:
+        topo_kwargs["ba_m"] = case.ba_m
+    if case.topology is not None:
+        topo_kwargs["model"] = case.topology
+    topology = TopologyConfig(**topo_kwargs)
+    kwargs: Dict[str, Any] = dict(
+        n=case.n,
+        duration_s=case.minutes * 60.0,
+        seed=case.seed,
+        topology=topology,
+        network=NetworkConfig(
+            processing_qpm_good=case.workload.capacity_qpm,
+            hop_latency_jitter_s=0.0,
+        ),
+        workload=WorkloadConfig(
+            queries_per_minute=case.workload.queries_per_minute, seed=case.seed
+        ),
+        num_agents=case.num_agents,
+        attack_start_s=case.attack_start_min * 60.0,
+        attack_rate_qpm=case.workload.attack_rate_qpm,
+        cheat_strategy=case.workload.cheat,
+        adaptive=case.adaptive,
+        defense=case.defense,
+        police=case.police,
+        traceback=case.traceback,
+        faults=case.faults,
+    )
+    if case.obs is not None:
+        kwargs["obs"] = case.obs
+    return soa_case_result(DESConfig(**kwargs), case.settle_min)
+
+
 @dataclass(frozen=True)
 class Backend:
     """A registered execution engine for :class:`Case` lists."""
@@ -807,6 +871,13 @@ register_backend(
         name="des",
         task_fn=_des_case_task,
         description="message-level discrete-event runner (small N, faults)",
+    )
+)
+register_backend(
+    Backend(
+        name="des-soa",
+        task_fn=_soa_case_task,
+        description="batched struct-of-arrays flood engine (100k-1M peers)",
     )
 )
 

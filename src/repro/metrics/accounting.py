@@ -180,6 +180,32 @@ class QueryAccounting:
             bucket.record_keys.append(key)
         return window
 
+    def on_issued_many(self, count: int, is_attack: bool) -> int:
+        """Bulk :meth:`on_issued` for ``count`` keyless queries.
+
+        Used by the batched SoA backend, whose attack generators issue
+        whole per-second batches in one call. Requires record retirement
+        to be off (there are no per-query keys to track), which keeps the
+        retirement contract sound.
+        """
+        if count < 0:
+            raise ConfigError("count must be non-negative")
+        if self.retire_records:
+            raise ConfigError(
+                "on_issued_many requires retire_records=False (bulk issues "
+                "carry no record keys to retire)"
+            )
+        cls = ATTACK if is_attack else GOOD
+        self._totals[cls].issued += count
+        window = self._rolls
+        bucket = self._buckets.get(window)
+        if bucket is None:
+            bucket = self._buckets[window] = _WindowBucket(
+                window, self.retire_records
+            )
+        bucket.issued[cls] += count
+        return window
+
     def on_first_response(
         self, window: int, is_attack: bool, response_time: float
     ) -> None:

@@ -1,0 +1,784 @@
+"""Struct-of-arrays flood engine: batched vectorized DES backend.
+
+The message-level engine (:mod:`repro.overlay.network`) pays one Python
+heap event per message delivery; at n >= 100k the flood dominates and
+per-event dispatch caps throughput around tens of thousands of events
+per second. This module replays the *same* protocol semantics with peer
+state in numpy arrays indexed by peer id and flooding advanced in
+*waves*: every query delivery sharing one exact virtual timestamp is
+processed as one vectorized step (dedup mask -> token-bucket clamp ->
+CSR gather/scatter fan-out). The binary-heap engine is retained for the
+sparse control plane: workload issue timers, attack batches, the
+per-minute window roll, and DD-POLICE conclusion timeouts.
+
+Equivalence contract (enforced by ``tests/property/test_soa_equivalence.py``)
+-----------------------------------------------------------------------------
+With churn/faults/bandwidth off and ``hop_latency_jitter_s == 0`` the
+wave schedule reproduces the message engine's delivery timeline exactly:
+every hop adds the same ``hop_latency_s`` float, so all copies of one
+TTL generation share one timestamp, and per-receiver arrival order is
+identical to the DES event order (one forwarder event sends one query
+to many *distinct* receivers, so reordering inside a forwarder's send
+loop never permutes any single receiver's arrival sequence). Dedup
+winners, reverse routes, token-bucket grants, drop counts, per-minute
+rows, and S(t) therefore match the message DES float-for-float.
+
+Known divergences, all confined to DD-POLICE runs:
+
+* the SoA engine sends no control-plane messages (exchange lists,
+  liveness pings, Neighbor_Traffic, Bye), so ``messages_delivered`` and
+  ``bytes_transferred`` exclude the control plane (compare
+  ``query_messages``/``hit_messages`` instead);
+* buddy groups are derived from *current* alive neighbor sets rather
+  than the directory's last-broadcast snapshot. The two agree whenever
+  the attack starts after the directory has converged (first exchange
+  broadcasts complete by t = exchange start delay <= 120 s) and no edge
+  was cut in the preceding exchange period.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from repro.attack.cheating import CheatStrategy
+from repro.core.indicators import NeighborReport, indicators_from_reports
+from repro.errors import ConfigError
+from repro.fluid.flows import build_edge_arrays, edge_slice_index
+from repro.metrics.accounting import QueryAccounting
+from repro.metrics.collectors import _SeriesMixin
+from repro.metrics.errors import ErrorCounts, Judgment, JudgmentLog
+from repro.overlay.content import ContentCatalog
+from repro.overlay.ids import PeerId
+from repro.overlay.message import GNUTELLA_HEADER_SIZE
+from repro.overlay.topology import TopologyConfig, generate_topology
+from repro.simkit.engine import Simulator
+from repro.simkit.rng import RngRegistry
+from repro.simkit.soa import Int64Map, TokenBucketArray
+from repro.simkit.timers import PeriodicTask
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; avoids a layering cycle
+    from repro.experiments.runner import DESConfig
+
+#: Route-table sentinel: the keyed peer originated the query.
+ORIGIN = -2
+#: Route lookup miss (seen-set entry expired or never existed).
+MISSING = -3
+
+#: QueryHit wire size: 23-byte header + 11 + 40 * result_count(1) + 16.
+HIT_SIZE = 90
+
+
+def query_size_bytes(keywords: Tuple[str, ...]) -> int:
+    """Wire size of a Query: header + min_speed(2) + NUL search string."""
+    payload = 2 + sum(len(k) for k in keywords) + max(0, len(keywords) - 1) + 1
+    return GNUTELLA_HEADER_SIZE + payload
+
+
+@dataclass
+class SoaStats:
+    """Aggregate counters, aligned with :class:`NetworkStats` field names.
+
+    ``control_messages`` stays 0 by construction: the SoA engine models
+    no control plane.
+    """
+
+    messages_delivered: int = 0
+    bytes_transferred: int = 0
+    query_messages: int = 0
+    hit_messages: int = 0
+    control_messages: int = 0
+    queries_dropped_capacity: int = 0
+    # Extras (sums of the DES per-peer counters, for the oracle tests).
+    queries_dropped_duplicate: int = 0
+    hits_dropped_no_route: int = 0
+    queries_issued: int = 0
+    attack_queries_sent: int = 0
+    edges_cut: int = 0
+
+
+class SoaCollector(_SeriesMixin):
+    """Read-side facade over the accounting rows (collector duck type)."""
+
+    def __init__(self, accounting: QueryAccounting) -> None:
+        self._accounting = accounting
+
+    @property
+    def minutes(self):
+        return self._accounting.rows
+
+
+@dataclass
+class SoaRun:
+    """A finished SoA run with the surfaces result extraction needs."""
+
+    config: "DESConfig"
+    n: int
+    stats: SoaStats
+    accounting: QueryAccounting
+    collector: SoaCollector
+    judgments: Optional[JudgmentLog]
+    bad_peers: Set[PeerId] = field(default_factory=set)
+    wall_s: float = 0.0
+    heap_events: int = 0
+    waves_processed: int = 0
+
+    @property
+    def deliveries(self) -> int:
+        return self.stats.messages_delivered
+
+    def error_counts(self) -> ErrorCounts:
+        if self.judgments is None:
+            raise ConfigError("run had no defense; no judgments recorded")
+        return self.judgments.error_counts(set(self.bad_peers))
+
+
+def _reject_unsupported(config: "DESConfig") -> None:
+    """Refuse configurations whose semantics the wave engine cannot honor.
+
+    Mirrors the fluid backend's policy: fail loudly rather than run a
+    simulation that silently ignores part of the configuration.
+    """
+    if config.churn.enabled:
+        raise ConfigError("backend 'des-soa' cannot simulate churn (DES only)")
+    if config.faults.enabled:
+        raise ConfigError(
+            "backend 'des-soa' cannot simulate fault injection (DES only)"
+        )
+    if config.defense not in ("none", "ddpolice"):
+        raise ConfigError(
+            f"backend 'des-soa' has no {config.defense!r} defense (DES only)"
+        )
+    if config.adaptive.strategy != "static":
+        raise ConfigError(
+            f"backend 'des-soa' cannot simulate adaptive strategy "
+            f"{config.adaptive.strategy!r} (DES only)"
+        )
+    if config.defense == "ddpolice":
+        if config.cheat_strategy is not CheatStrategy.SILENT:
+            raise ConfigError(
+                f"backend 'des-soa' only models cheat_strategy 'silent' "
+                f"under ddpolice, got {config.cheat_strategy!r} (DES only)"
+            )
+        if config.police.radius != 1:
+            raise ConfigError("backend 'des-soa' requires police radius 1")
+        if not config.police.assume_zero_on_missing:
+            raise ConfigError(
+                "backend 'des-soa' requires assume_zero_on_missing=True"
+            )
+        if getattr(config.police, "report_quorum", 0):
+            raise ConfigError("backend 'des-soa' does not model report quorums")
+        if getattr(config.police, "report_retry_limit", 0):
+            raise ConfigError("backend 'des-soa' does not model report retries")
+    if config.network.hop_latency_jitter_s != 0.0:
+        raise ConfigError(
+            "backend 'des-soa' requires hop_latency_jitter_s=0 (wave "
+            "batching relies on shared per-generation timestamps)"
+        )
+    if config.network.bandwidth_enabled:
+        raise ConfigError("backend 'des-soa' has no bandwidth model (DES only)")
+    if config.metrics_mode != "incremental":
+        raise ConfigError("backend 'des-soa' supports metrics_mode 'incremental' only")
+
+
+class SoaFloodEngine:
+    """One configured run of the wave-batched flood simulation."""
+
+    def __init__(self, config: "DESConfig") -> None:
+        _reject_unsupported(config)
+        self.config = config
+        n = config.n
+        self.n = n
+        self.stats = SoaStats()
+        rngs = RngRegistry(config.seed)
+
+        # -- topology -> CSR edge arrays --------------------------------
+        topo_cfg = config.topology or TopologyConfig(n=n, seed=config.seed)
+        if topo_cfg.n != n:
+            raise ConfigError(
+                f"topology n={topo_cfg.n} does not match config n={n}"
+            )
+        topology = generate_topology(topo_cfg)
+        adjacency = {u: vs for u, vs in enumerate(topology.adjacency)}
+        src, dst, rev = build_edge_arrays(adjacency)
+        self._src = src.astype(np.int64)
+        self._dst = dst.astype(np.int64)
+        self._rev = rev.astype(np.int64)
+        self._indptr = edge_slice_index(self._src, n)
+        self._E = len(src)
+        #: (src, dst)-packed keys; sorted because edges are (src, dst)-sorted.
+        self._ekeys = self._src * n + self._dst
+        self.edge_alive = np.ones(self._E, dtype=bool)
+        self._alive_deg = np.diff(self._indptr).astype(np.int64)
+
+        # DES peers keep neighbors in a Python set, and issue_query /
+        # _on_query emit sends in its *iteration order*. Which same-depth
+        # forwarder fires first decides the dedup winner at the next hop
+        # (= route parent = the neighbor excluded from that peer's
+        # fan-out), so per-edge counters only match if the batched
+        # fan-out emits in the same order. Replaying the identical
+        # insertions into an identical set reproduces the (deterministic)
+        # order; edge cuts never reorder survivors, matching set.discard.
+        proto = np.empty(self._E, dtype=np.int64)
+        for u in range(n):
+            a, b = int(self._indptr[u]), int(self._indptr[u + 1])
+            if a == b:
+                continue
+            replay = {PeerId(v) for v in topology.adjacency[u]}
+            order = np.fromiter(
+                (p.value for p in replay), dtype=np.int64, count=b - a
+            )
+            proto[a:b] = a + np.searchsorted(self._dst[a:b], order)
+        self._proto_edge = proto
+
+        # -- content ----------------------------------------------------
+        self.content = ContentCatalog(config.content, n)
+        holder_keys: List[int] = []
+        for peer, objs in self.content.peer_objects.items():
+            for obj in objs:
+                holder_keys.append(obj * n + peer)
+        self._holder_keys = np.array(sorted(holder_keys), dtype=np.int64)
+
+        # -- per-peer / per-edge dynamic state --------------------------
+        net = config.network
+        self._hop = net.hop_latency_s
+        self._default_ttl = net.default_ttl
+        self.bucket = TokenBucketArray(n, net.processing_qpm_good)
+        self.win_out = np.zeros(self._E, dtype=np.int64)
+        self.win_in = np.zeros(self._E, dtype=np.int64)
+        # Seen-set + reverse routes; epoch is sized to 3x the one-way
+        # flood depth so entries (which survive 1-2 epochs) always outlive
+        # a query's full out-and-back lifetime of 2*ttl*hop.
+        lifetime = 2.0 * self._default_ttl * self._hop
+        self.seen = Int64Map(
+            initial_log2_cap=14, epoch_s=max(0.5, 1.5 * lifetime)
+        )
+        self._pending_seen: List[np.ndarray] = []
+
+        # -- metrics ----------------------------------------------------
+        # retire_records=False switches off per-query key tracking (the
+        # SoA engine keeps no QueryRecord table to retire); the emitted
+        # rows are identical either way.
+        self.accounting = QueryAccounting(
+            grace_minutes=net.metrics_grace_minutes, retire_records=False
+        )
+        self.collector = SoaCollector(self.accounting)
+        #: qid -> (window, issued_at, is_attack) for queries that can be
+        #: answered (workload-issued; bogus attack batches never match).
+        self._meta: Dict[int, Tuple[int, float, bool]] = {}
+        self._next_qid = 0
+
+        # -- simulator + timers -----------------------------------------
+        self.sim = Simulator()
+        self.minute_index = 0
+        self._minute_task = PeriodicTask(
+            self.sim,
+            net.minute_window_s,
+            self._roll_minute,
+            start_delay=net.minute_window_s,
+            priority=-1,
+        )
+        #: wave buffers: timestamp -> (query chunks, hit chunks). A chunk
+        #: is a tuple of parallel arrays appended in DES event order.
+        self._waves: Dict[float, Tuple[list, list]] = {}
+        self.waves_processed = 0
+
+        # -- workload ----------------------------------------------------
+        self._wl_rng = rngs.stream("workload")
+        self._wl_mean_gap = 60.0 / config.workload.queries_per_minute
+        self._wl_max = config.workload.max_queries_total
+        self._wl_issued = 0
+        self._origin_mask = np.zeros(n, dtype=bool)
+
+        # -- attack ------------------------------------------------------
+        self.bad_peers: Set[PeerId] = set()
+        self._bad_mask = np.zeros(n, dtype=bool)
+        self._agents: List[dict] = []
+        if config.num_agents > 0:
+            atk_rng = rngs.stream("attack")
+            chosen = atk_rng.sample(list(range(n)), config.num_agents)
+            for pid in chosen:
+                atk_rng.getrandbits(32)  # per-agent rng seed draw (unused here)
+                self._agents.append({"pid": pid, "carry": 0.0, "nonce": 0})
+            self.bad_peers = {PeerId(p) for p in chosen}
+            self._bad_mask[chosen] = True
+            self.sim.schedule_at(config.attack_start_s, self._attack_launch)
+
+        # -- defense -----------------------------------------------------
+        self.judgments: Optional[JudgmentLog] = None
+        if config.defense == "ddpolice":
+            self.judgments = JudgmentLog()
+
+    # ------------------------------------------------------------------
+    # small helpers
+    # ------------------------------------------------------------------
+    def _edge_ids(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Edge ids for directed pairs (u, v); pairs must be real edges."""
+        return np.searchsorted(self._ekeys, u * self.n + v)
+
+    def _edge_id(self, u: int, v: int) -> int:
+        return int(np.searchsorted(self._ekeys, u * self.n + v))
+
+    def _alive_out_edges(self, p: int) -> np.ndarray:
+        a, b = int(self._indptr[p]), int(self._indptr[p + 1])
+        return a + np.flatnonzero(self.edge_alive[a:b])
+
+    def _proto_out_edges(self, p: int) -> np.ndarray:
+        """Alive out-edges of ``p`` in DES neighbor-set iteration order."""
+        a, b = int(self._indptr[p]), int(self._indptr[p + 1])
+        e = self._proto_edge[a:b]
+        return e[self.edge_alive[e]]
+
+    def _wave_at(self, t: float) -> Tuple[list, list]:
+        wave = self._waves.get(t)
+        if wave is None:
+            wave = self._waves[t] = ([], [])
+            # Priority 1: same-time heap events (issues, attack batches,
+            # police conclusions at 0; minute roll at -1) fire first,
+            # matching the DES seq order of in-flight deliveries.
+            self.sim.schedule_at(t, self._process_wave, t, priority=1)
+        return wave
+
+    def _push_queries(
+        self,
+        t: float,
+        qid: np.ndarray,
+        dst: np.ndarray,
+        src: np.ndarray,
+        ttl: np.ndarray,
+        obj: np.ndarray,
+        size: np.ndarray,
+    ) -> None:
+        self._wave_at(t)[0].append((qid, dst, src, ttl, obj, size))
+
+    def _push_hits(self, t: float, qid: np.ndarray, at: np.ndarray) -> None:
+        self._wave_at(t)[1].append((qid, at))
+
+    # ------------------------------------------------------------------
+    # workload (good queries; replicates QueryWorkload's rng sequence)
+    # ------------------------------------------------------------------
+    def start_workload(self) -> None:
+        rate = 1.0 / self._wl_mean_gap
+        rng = self._wl_rng
+        self.sim.schedule_bulk(
+            (rng.expovariate(rate), self._issue, pid) for pid in range(self.n)
+        )
+
+    def _issue(self, pid: int) -> None:
+        if self._wl_max is not None and self._wl_issued >= self._wl_max:
+            return
+        eids = self._proto_out_edges(pid)
+        if len(eids):
+            obj = self.content.sample_object(self._wl_rng)
+            keywords = self.content.keywords_for(obj)
+            size = query_size_bytes(keywords)
+            now = self.sim.now
+            qid = self._next_qid
+            self._next_qid += 1
+            is_attack = bool(self._origin_mask[pid])
+            window = self.accounting.on_issued(None, is_attack)
+            self._meta[qid] = (window, now, is_attack)
+            self._pending_seen.append(
+                np.array([qid * self.n + pid], dtype=np.int64)
+            )
+            self.win_out[eids] += 1
+            targets = self._dst[eids]
+            k = len(targets)
+            self._push_queries(
+                now + self._hop,
+                np.full(k, qid, dtype=np.int64),
+                targets,
+                np.full(k, pid, dtype=np.int64),
+                np.full(k, self._default_ttl, dtype=np.int64),
+                np.full(k, obj, dtype=np.int64),
+                np.full(k, size, dtype=np.int64),
+            )
+            self._wl_issued += 1
+            self.stats.queries_issued += 1
+        self.sim.schedule_in(
+            self._wl_rng.expovariate(1.0 / self._wl_mean_gap), self._issue, pid
+        )
+
+    # ------------------------------------------------------------------
+    # attack (replicates AttackScenario/DDoSAgent batch arithmetic)
+    # ------------------------------------------------------------------
+    def _attack_launch(self) -> None:
+        # Origins register at launch (not construction): agent peers'
+        # earlier workload queries keep their GOOD class.
+        for agent in self._agents:
+            self._origin_mask[agent["pid"]] = True
+        # The first batch fires at launch time but *after* any same-time
+        # workload issues, like the DES agents' schedule_in(0) batches.
+        self.sim.schedule_at(self.sim.now, self._attack_batch)
+
+    def _attack_batch(self) -> None:
+        rate_qpm = self.config.attack_rate_qpm
+        now = self.sim.now
+        n = self.n
+        deliver_at = now + self._hop
+        for agent in self._agents:
+            pid = agent["pid"]
+            eids = self._alive_out_edges(pid)
+            if not len(eids):
+                continue  # carry/nonce untouched, exactly like the DES agent
+            per_batch = rate_qpm * 1.0 / 60.0 + agent["carry"]
+            count = int(per_batch)
+            agent["carry"] = per_batch - count
+            if count == 0:
+                continue
+            nonce0 = agent["nonce"]
+            agent["nonce"] = nonce0 + count
+            nonces = np.arange(nonce0 + 1, nonce0 + count + 1, dtype=np.int64)
+            # Query size: header + min_speed + "bogus x{pid}n{nonce}" NUL.
+            # 23 + (2 + 5 + (2 + d(pid) + d(nonce)) + 1 + 1)
+            digits = np.ones(count, dtype=np.int64)
+            p10 = 10
+            while p10 <= int(nonces[-1]):
+                digits += nonces >= p10
+                p10 *= 10
+            sizes = 34 + len(str(pid)) + digits
+            qid0 = self._next_qid
+            self._next_qid = qid0 + count
+            qids = np.arange(qid0, qid0 + count, dtype=np.int64)
+            self.accounting.on_issued_many(count, is_attack=True)
+            self._pending_seen.append(qids * n + pid)
+            # Round-robin over dst-sorted alive neighbors (the DES agent
+            # sorts its neighbor set by peer id).
+            te = np.resize(eids, count)
+            np.add.at(self.win_out, te, 1)
+            self._push_queries(
+                deliver_at,
+                qids,
+                self._dst[te],
+                np.full(count, pid, dtype=np.int64),
+                np.full(count, self._default_ttl, dtype=np.int64),
+                np.full(count, -1, dtype=np.int64),
+                sizes,
+            )
+            self.stats.attack_queries_sent += count
+            self.stats.queries_issued += count
+        self.sim.schedule_in(1.0, self._attack_batch)
+
+    # ------------------------------------------------------------------
+    # wave processing
+    # ------------------------------------------------------------------
+    def _flush_pending_seen(self) -> None:
+        if not self._pending_seen:
+            return
+        keys = np.concatenate(self._pending_seen)
+        self._pending_seen.clear()
+        self.seen.insert_new(keys, np.full(len(keys), ORIGIN, dtype=np.int64))
+
+    def _process_wave(self, t: float) -> None:
+        qchunks, hchunks = self._waves.pop(t)
+        self._flush_pending_seen()
+        self.seen.maybe_rotate(t)
+        if qchunks:
+            self._process_queries(t, qchunks)
+        if hchunks:
+            self._process_hits(t, hchunks)
+        self.waves_processed += 1
+
+    def _process_queries(self, t: float, chunks: list) -> None:
+        if len(chunks) == 1:
+            qid, dst, src, ttl, obj, size = chunks[0]
+        else:
+            qid, dst, src, ttl, obj, size = (
+                np.concatenate([c[i] for c in chunks]) for i in range(6)
+            )
+        m = len(qid)
+        stats = self.stats
+        stats.messages_delivered += m
+        stats.bytes_transferred += int(size.sum())
+        stats.query_messages += m
+
+        # In_query window stamps: receiver-side, gated on the connection
+        # still existing (in-flight copies on a cut edge deliver but do
+        # not resurrect the counter key).
+        e_in = self._edge_ids(src, dst)
+        alive = self.edge_alive[e_in]
+        np.add.at(self.win_in, e_in[alive], 1)
+
+        # Duplicate suppression: within-wave first occurrence, then the
+        # cross-wave seen-set. Route = arrival neighbor of the first
+        # sight, recorded even for copies the capacity clamp later drops.
+        keys = qid * self.n + dst
+        uniq_keys, first_idx = np.unique(keys, return_index=True)
+        fresh = self.seen.insert_new(uniq_keys, src[first_idx])
+        keep = np.sort(first_idx[fresh])  # back to arrival order
+        stats.queries_dropped_duplicate += m - len(keep)
+        if not len(keep):
+            return
+        qid, dst, src, ttl, obj, size = (
+            a[keep] for a in (qid, dst, src, ttl, obj, size)
+        )
+
+        # Capacity clamp: per receiving peer, the first `granted` fresh
+        # arrivals (in arrival order) consume tokens; the rest drop.
+        order = np.argsort(dst, kind="stable")
+        ds = dst[order]
+        peers, counts = np.unique(ds, return_counts=True)
+        granted = self.bucket.grant(peers, counts, t)
+        starts = np.cumsum(counts) - counts
+        rank = np.arange(len(ds)) - np.repeat(starts, counts)
+        passed = np.empty(len(ds), dtype=bool)
+        passed[order] = rank < np.repeat(granted, counts)
+        dropped = len(ds) - int(passed.sum())
+        stats.queries_dropped_capacity += dropped
+        if dropped == len(ds):
+            return
+
+        # Local content match -> QueryHit back along the arrival edge.
+        cand = passed & (obj >= 0)
+        if cand.any():
+            hkeys = obj[cand] * self.n + dst[cand]
+            pos = np.searchsorted(self._holder_keys, hkeys)
+            pos[pos >= len(self._holder_keys)] = 0 if len(self._holder_keys) else 0
+            found = (
+                self._holder_keys[pos] == hkeys
+                if len(self._holder_keys)
+                else np.zeros(len(hkeys), dtype=bool)
+            )
+            if found.any():
+                self._push_hits(
+                    t + self._hop, qid[cand][found], src[cand][found]
+                )
+
+        # CSR fan-out of the survivors with TTL left: forward to every
+        # alive neighbor except the arrival edge's source.
+        fwd = passed & (ttl > 1)
+        if not fwd.any():
+            return
+        f_idx = np.flatnonzero(fwd)
+        u = dst[f_idx]
+        lens = self._indptr[u + 1] - self._indptr[u]
+        total = int(lens.sum())
+        if total == 0:
+            return
+        first = np.cumsum(lens) - lens
+        rel = np.arange(total) - np.repeat(first, lens)
+        # Map row positions through the protocol-order permutation so
+        # each owner's forwards are emitted in DES set-iteration order.
+        e = self._proto_edge[np.repeat(self._indptr[u], lens) + rel]
+        owner = np.repeat(f_idx, lens)
+        ok = self.edge_alive[e] & (self._dst[e] != src[owner])
+        if not ok.any():
+            return
+        e = e[ok]
+        owner = owner[ok]
+        np.add.at(self.win_out, e, 1)
+        self._push_queries(
+            t + self._hop,
+            qid[owner],
+            self._dst[e],
+            self._src[e],
+            ttl[owner] - 1,
+            obj[owner],
+            size[owner],
+        )
+
+    def _process_hits(self, t: float, chunks: list) -> None:
+        if len(chunks) == 1:
+            qid, at = chunks[0]
+        else:
+            qid = np.concatenate([c[0] for c in chunks])
+            at = np.concatenate([c[1] for c in chunks])
+        m = len(qid)
+        stats = self.stats
+        stats.messages_delivered += m
+        stats.bytes_transferred += HIT_SIZE * m
+        stats.hit_messages += m
+
+        back = self.seen.lookup(qid * self.n + at, missing=MISSING)
+        is_origin = back == ORIGIN
+        if is_origin.any():
+            meta = self._meta
+            for q in qid[is_origin].tolist():
+                rec = meta.pop(q, None)
+                if rec is not None:
+                    window, issued_at, is_attack = rec
+                    self.accounting.on_first_response(
+                        window, is_attack, t - issued_at
+                    )
+        lost = back == MISSING
+        stats.hits_dropped_no_route += int(lost.sum())
+        route = ~(is_origin | lost)
+        if not route.any():
+            return
+        q2 = qid[route]
+        a2 = at[route]
+        b2 = back[route]
+        alive = self.edge_alive[self._edge_ids(a2, b2)]
+        stats.hits_dropped_no_route += int((~alive).sum())
+        if alive.any():
+            self._push_hits(t + self._hop, q2[alive], b2[alive])
+
+    # ------------------------------------------------------------------
+    # minute roll + DD-POLICE
+    # ------------------------------------------------------------------
+    def _roll_minute(self) -> None:
+        self.minute_index += 1
+        prev_out = self.win_out
+        prev_in = self.win_in
+        self.win_out = np.zeros(self._E, dtype=np.int64)
+        self.win_in = np.zeros(self._E, dtype=np.int64)
+        self.last_minute_out = prev_out
+        self.last_minute_in = prev_in
+        self.accounting.on_minute_rolled(
+            self.sim.now,
+            self.stats.messages_delivered,
+            self.stats.bytes_transferred,
+        )
+        if self.judgments is not None:
+            self._police_round(prev_out, prev_in)
+
+    def _police_round(self, prev_out: np.ndarray, prev_in: np.ndarray) -> None:
+        """One suspicion/evidence round over the just-completed minute.
+
+        Edge e = (j -> u) crossing the warning threshold makes observer u
+        open an investigation of suspect j at the roll. Good investigators
+        push Neighbor_Traffic reports to the whole buddy group (arriving
+        one hop later), every member that receives one joins, and joiners'
+        own reports arrive a second hop later; SILENT attackers
+        investigate and judge but never report. An investigation
+        concludes the moment its last expected report arrives -- one hop
+        after the roll when every other member is a direct observer, two
+        hops when a joiner's report is needed -- and only falls back to
+        the collection-window timer (+5 s for directs, one hop later for
+        joiners) when a SILENT member's report never comes. These are the
+        same decision instants the message engine's early-completion path
+        (``Investigation.complete``) produces.
+        """
+        police = self.config.police
+        crossing = np.flatnonzero(
+            self.edge_alive & (prev_in > police.warning_threshold_qpm)
+        )
+        if not len(crossing):
+            return
+        now = self.sim.now
+        report_at = now + self._hop  # direct observers' reports land here
+        by_time: Dict[float, List[Tuple[int, int, float, float, bool]]] = {}
+        suspects = np.unique(self._src[crossing])
+        for j in suspects.tolist():
+            observers = set(
+                self._dst[crossing[self._src[crossing] == j]].tolist()
+            )
+            good_direct = any(not self._bad_mask[u] for u in observers)
+            nbrs = self._dst[self._alive_out_edges(j)].tolist()
+            # Without a good direct observer no reports circulate, so
+            # nobody joins: only the directs investigate (on silence).
+            members = nbrs if good_direct else sorted(observers)
+            for u in members:
+                own_out = int(prev_out[self._edge_id(u, j)])
+                own_in = int(prev_in[self._edge_id(j, u)])
+                reports: Dict[int, Optional[NeighborReport]] = {}
+                missing = False
+                last_direct = -1
+                last_joiner = -1
+                for mem in nbrs:
+                    if mem == u:
+                        continue
+                    if good_direct and not self._bad_mask[mem]:
+                        reports[mem] = NeighborReport(
+                            member=mem,
+                            outgoing=int(prev_out[self._edge_id(mem, j)]),
+                            incoming=int(prev_in[self._edge_id(j, mem)]),
+                        )
+                        if mem in observers:
+                            last_direct = max(last_direct, mem)
+                        else:
+                            last_joiner = max(last_joiner, mem)
+                    else:
+                        reports[mem] = None
+                        missing = True
+                g, s = indicators_from_reports(
+                    u, own_out, own_in, reports, police.q_threshold_qpm
+                )
+                convicted = g > police.cut_threshold or s > police.cut_threshold
+                # An investigation completes at the arrival of its *last*
+                # expected report, and a conviction's disconnect evicts
+                # the endpoints' still-pending investigations of each
+                # other. Reports are sent in ascending sender-id order
+                # (the roll visits peers in id order), so the delivery
+                # rank of that last report -- the sender's id -- orders
+                # same-instant conclusions exactly like the message
+                # engine's event sequence.
+                if missing or not reports:
+                    # Never completes: the collection-window timer fires,
+                    # anchored at the investigation's opening time (the
+                    # roll for directs, first report arrival for joiners);
+                    # timers fire in opening order = observer-id order.
+                    opened = now if u in observers else report_at
+                    t_end = opened + police.collection_window_s
+                    rank = u
+                elif last_joiner < 0:
+                    t_end = report_at
+                    rank = last_direct
+                else:
+                    t_end = report_at + self._hop
+                    rank = last_joiner
+                by_time.setdefault(t_end, []).append((rank, u, j, g, s, convicted))
+        for t_end in sorted(by_time):
+            decisions = [
+                d[1:] for d in sorted(by_time[t_end])
+            ]
+            self.sim.schedule_at(t_end, self._conclude, decisions)
+
+    def _conclude(self, decisions: List[Tuple[int, int, float, float, bool]]) -> None:
+        now = self.sim.now
+        for u, j, g, s, convicted in decisions:
+            e_uj = self._edge_id(u, j)
+            if not self.edge_alive[e_uj]:
+                # The edge died before this conclusion (possibly cut by an
+                # earlier decision in this same batch): the message engine
+                # evicts the investigation via its neighbor-gone listener,
+                # so no judgment is recorded.
+                continue
+            if convicted:
+                e_ju = self._edge_id(j, u)
+                self.edge_alive[e_uj] = False
+                self.edge_alive[e_ju] = False
+                self._alive_deg[u] -= 1
+                self._alive_deg[j] -= 1
+                self.stats.edges_cut += 1
+                disconnected = True
+            else:
+                disconnected = False
+            self.judgments.record(
+                Judgment(
+                    time=now,
+                    observer=PeerId(u),
+                    suspect=PeerId(j),
+                    g_value=g,
+                    s_value=s,
+                    disconnected=disconnected,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        self.start_workload()
+        self.sim.run(until=self.config.duration_s)
+
+
+def run_soa_experiment(config: "DESConfig") -> SoaRun:
+    """Build and run one wave-batched experiment end to end."""
+    engine = SoaFloodEngine(config)
+    t0 = time.perf_counter()
+    engine.run()
+    wall_s = time.perf_counter() - t0
+    return SoaRun(
+        config=config,
+        n=engine.n,
+        stats=engine.stats,
+        accounting=engine.accounting,
+        collector=engine.collector,
+        judgments=engine.judgments,
+        bad_peers=engine.bad_peers,
+        wall_s=wall_s,
+        heap_events=engine.sim.events_fired,
+        waves_processed=engine.waves_processed,
+    )

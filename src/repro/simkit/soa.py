@@ -1,0 +1,296 @@
+"""Struct-of-arrays primitives for the batched flood engine.
+
+The SoA backend (:mod:`repro.overlay.soa_network`) advances flooding in
+*waves*: every message delivery sharing one exact virtual timestamp is
+processed as one vectorized step. That step needs three primitives that
+have no per-element Python cost:
+
+* :class:`Int64Map` -- an open-addressing int64 -> int64 hash table with
+  fully vectorized batch insert/lookup. It backs the unified seen-set /
+  reverse-route table (key ``qid * n + peer``, value = the neighbor the
+  query arrived from, or the ``ORIGIN`` sentinel for own issues).
+  Because flood state is only live for one query lifetime
+  (``2 * TTL * hop_latency`` seconds), the map is *generational*: two
+  tables rotate on an epoch clock and lookups consult both, so memory is
+  bounded by two epochs of insert volume instead of the whole run.
+* :class:`TokenBucketArray` -- per-peer token buckets in two float64
+  arrays, refilled lazily and in bulk. Matches
+  :class:`repro.overlay.capacity.TokenBucket` float-for-float when
+  refill points coincide (capped linear refill composes path
+  independently, so it does).
+* :class:`GrowArray` -- an amortized-growth typed append buffer used to
+  accumulate wave entries before they are frozen into numpy views.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Empty-slot key sentinel (keys must be non-negative).
+EMPTY = np.int64(-1)
+
+#: Fibonacci multiplier for int64 hashing (2^64 / golden ratio, odd).
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _hash_slots(keys: np.ndarray, log2_cap: int) -> np.ndarray:
+    """Fibonacci-hash int64 keys into ``[0, 2**log2_cap)`` slots."""
+    h = keys.astype(np.uint64) * _GOLDEN
+    return (h >> np.uint64(64 - log2_cap)).astype(np.int64)
+
+
+class _Table:
+    """One open-addressing generation: parallel key/value arrays."""
+
+    __slots__ = ("keys", "vals", "log2_cap", "mask", "size")
+
+    def __init__(self, log2_cap: int) -> None:
+        cap = 1 << log2_cap
+        self.keys = np.full(cap, EMPTY, dtype=np.int64)
+        self.vals = np.empty(cap, dtype=np.int64)
+        self.log2_cap = log2_cap
+        self.mask = np.int64(cap - 1)
+        self.size = 0
+
+    # -- vectorized probing -------------------------------------------------
+    def lookup(self, query_keys: np.ndarray, out: np.ndarray) -> None:
+        """Write values for found keys into ``out`` (missing untouched)."""
+        n = len(query_keys)
+        if n == 0:
+            return
+        pending = np.arange(n)
+        slots = _hash_slots(query_keys, self.log2_cap)
+        while len(pending):
+            table_keys = self.keys[slots]
+            found = table_keys == query_keys[pending]
+            if found.any():
+                out[pending[found]] = self.vals[slots[found]]
+            live = ~(found | (table_keys == EMPTY))
+            pending = pending[live]
+            slots = (slots[live] + 1) & self.mask
+
+    def contains(self, query_keys: np.ndarray) -> np.ndarray:
+        """Boolean membership mask for ``query_keys``."""
+        n = len(query_keys)
+        hit = np.zeros(n, dtype=bool)
+        if n == 0:
+            return hit
+        pending = np.arange(n)
+        slots = _hash_slots(query_keys, self.log2_cap)
+        while len(pending):
+            table_keys = self.keys[slots]
+            found = table_keys == query_keys[pending]
+            hit[pending[found]] = True
+            live = ~(found | (table_keys == EMPTY))
+            pending = pending[live]
+            slots = (slots[live] + 1) & self.mask
+        return hit
+
+    def insert_unique(self, keys: np.ndarray, vals: np.ndarray) -> np.ndarray:
+        """Insert batch-unique keys; return the freshly-inserted mask.
+
+        ``keys`` must contain no within-batch duplicates (dedup the batch
+        with ``np.unique`` first). Keys already present keep their stored
+        value (first writer wins, matching the DES reverse-route table,
+        which is only written on first sight of a GUID). Same-slot
+        contention inside the batch is serialized one claimant per probe
+        round via ``np.unique`` on the slot array.
+        """
+        n = len(keys)
+        fresh = np.zeros(n, dtype=bool)
+        if n == 0:
+            return fresh
+        pending = np.arange(n)
+        slots = _hash_slots(keys, self.log2_cap)
+        while len(pending):
+            table_keys = self.keys[slots]
+            match = table_keys == keys[pending]
+            empty = table_keys == EMPTY
+            claimed = np.zeros(len(pending), dtype=bool)
+            if empty.any():
+                empty_pos = np.flatnonzero(empty)
+                # One winner per contested slot this round; losers re-probe
+                # the same slot, see the winner's (different) key, advance.
+                _, first = np.unique(slots[empty_pos], return_index=True)
+                winners = empty_pos[first]
+                win_slots = slots[winners]
+                win_rows = pending[winners]
+                self.keys[win_slots] = keys[win_rows]
+                self.vals[win_slots] = vals[win_rows]
+                fresh[win_rows] = True
+                claimed[winners] = True
+                self.size += len(winners)
+            live = ~(match | claimed)
+            # Occupied-mismatch probes advance; claim-race losers retry
+            # the same slot (next round it holds the winner's different
+            # key, so they advance then). Every round either claims a
+            # slot or advances a probe -- the loop terminates.
+            advance = live & ~empty
+            slots = np.where(advance, slots + 1, slots) & self.mask
+            pending = pending[live]
+            slots = slots[live]
+        return fresh
+
+
+class Int64Map:
+    """Generational vectorized int64 -> int64 map (seen-set + routes).
+
+    Two generations (``current``/``previous``) rotate on an epoch clock:
+    inserts go to ``current``; lookups and duplicate checks consult both.
+    Entries therefore survive between one and two epochs -- choose
+    ``epoch_s`` longer than the flood lifetime (``2 * TTL * hop_latency``)
+    and the rotation is semantically invisible, exactly like the DES
+    peers' LRU ``_seen`` caches whose capacity is never binding.
+    """
+
+    def __init__(self, *, initial_log2_cap: int = 10, epoch_s: float = 2.0) -> None:
+        if epoch_s <= 0:
+            raise ConfigError("epoch_s must be positive")
+        if initial_log2_cap < 4:
+            raise ConfigError("initial_log2_cap must be >= 4")
+        self._initial_log2_cap = initial_log2_cap
+        self.epoch_s = float(epoch_s)
+        self._current = _Table(initial_log2_cap)
+        self._previous = _Table(initial_log2_cap)
+        self._epoch_start = 0.0
+        self.rotations = 0
+
+    # ------------------------------------------------------------------
+    def maybe_rotate(self, now: float) -> None:
+        """Retire the previous generation once an epoch has elapsed."""
+        if now - self._epoch_start >= self.epoch_s:
+            self._previous = self._current
+            self._current = _Table(max(self._initial_log2_cap, self._previous.log2_cap))
+            self._epoch_start = now
+            self.rotations += 1
+
+    def _grow_current(self, incoming: int) -> None:
+        cur = self._current
+        needed = cur.size + incoming
+        log2 = cur.log2_cap
+        while needed * 2 > (1 << log2):  # keep load factor <= 0.5
+            log2 += 1
+        if log2 == cur.log2_cap:
+            return
+        bigger = _Table(log2)
+        occupied = cur.keys != EMPTY
+        if occupied.any():
+            bigger.insert_unique(cur.keys[occupied], cur.vals[occupied])
+        self._current = bigger
+
+    # ------------------------------------------------------------------
+    def insert_new(self, keys: np.ndarray, vals: np.ndarray) -> np.ndarray:
+        """Insert batch-unique ``keys``; True where the key was unseen.
+
+        A key already present in either generation is a duplicate: it is
+        not reinserted and its stored value is untouched.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        vals = np.asarray(vals, dtype=np.int64)
+        if len(keys) == 0:
+            return np.zeros(0, dtype=bool)
+        self._grow_current(len(keys))
+        in_prev = self._previous.contains(keys)
+        fresh = np.zeros(len(keys), dtype=bool)
+        todo = ~in_prev
+        if todo.any():
+            fresh[todo] = self._current.insert_unique(keys[todo], vals[todo])
+        return fresh
+
+    def lookup(self, keys: np.ndarray, missing: int = -3) -> np.ndarray:
+        """Values for ``keys``; ``missing`` where absent from both tables."""
+        keys = np.asarray(keys, dtype=np.int64)
+        out = np.full(len(keys), missing, dtype=np.int64)
+        # Previous first, then current: an entry can only exist in one
+        # generation (inserts check both), so overwrite order is moot.
+        self._previous.lookup(keys, out)
+        self._current.lookup(keys, out)
+        return out
+
+    @property
+    def size(self) -> int:
+        return self._current.size + self._previous.size
+
+
+class TokenBucketArray:
+    """Per-peer token buckets in flat arrays (capacity clamp, Section 2.3).
+
+    Mirrors :class:`repro.overlay.capacity.TokenBucket`: depth defaults
+    to one second of tokens, buckets start full, refill is capped-linear.
+    Refill is lazy -- only peers touched by a wave are updated -- which
+    is float-exact against the sequential bucket because capped linear
+    refill composes path-independently between consumption points.
+    """
+
+    def __init__(self, n: int, rate_per_min: float, burst: float = 0.0) -> None:
+        if rate_per_min <= 0:
+            raise ConfigError(f"rate must be positive, got {rate_per_min}")
+        if burst <= 0:
+            burst = rate_per_min / 60.0
+        self.rate_per_sec = rate_per_min / 60.0
+        self.burst = float(burst)
+        self.tokens = np.full(n, self.burst, dtype=np.float64)
+        self.last = np.zeros(n, dtype=np.float64)
+
+    def grant(self, peers: np.ndarray, counts: np.ndarray, now: float) -> np.ndarray:
+        """Refill ``peers`` (unique) at ``now``; grant up to ``counts`` tokens.
+
+        Returns the integer number granted per peer. Matches running
+        ``try_consume(now)`` ``counts[i]`` times on the sequential
+        bucket: the bucket admits ``floor(tokens + 1e-12)`` unit
+        consumes, and failed consumes still advance the refill clock.
+        """
+        t = self.tokens[peers]
+        dt = now - self.last[peers]
+        # DES tolerates out-of-order stamps by skipping refill; waves are
+        # time-ordered so dt >= 0 always, but clip for safety.
+        np.maximum(dt, 0.0, out=dt)
+        t = np.minimum(self.burst, t + dt * self.rate_per_sec)
+        avail = np.floor(t + 1e-12).astype(np.int64)
+        granted = np.minimum(np.asarray(counts, dtype=np.int64), avail)
+        self.tokens[peers] = t - granted
+        self.last[peers] = now
+        return granted
+
+
+class GrowArray:
+    """Typed append buffer with amortized O(1) bulk extend."""
+
+    __slots__ = ("_data", "_len")
+
+    def __init__(self, dtype, initial: int = 1024) -> None:
+        self._data = np.empty(initial, dtype=dtype)
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def extend(self, values: np.ndarray) -> None:
+        need = self._len + len(values)
+        if need > len(self._data):
+            new_cap = max(need, 2 * len(self._data))
+            grown = np.empty(new_cap, dtype=self._data.dtype)
+            grown[: self._len] = self._data[: self._len]
+            self._data = grown
+        self._data[self._len : need] = values
+        self._len = need
+
+    def view(self) -> np.ndarray:
+        """Zero-copy view of the filled prefix."""
+        return self._data[: self._len]
+
+
+def dedup_first_occurrence(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """(unique_keys, first_occurrence_indices) preserving first arrivals.
+
+    ``np.unique(return_index=True)`` documents that the returned indices
+    are those of the *first* occurrence of each unique value -- the same
+    winner the sequential DES picks when several same-timestamp copies of
+    one query reach one peer.
+    """
+    uniq, first = np.unique(keys, return_index=True)
+    return uniq, first

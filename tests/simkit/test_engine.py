@@ -240,3 +240,51 @@ def test_cancel_after_drain_does_not_corrupt_counter():
     assert sim.pending_count == 3
     sim.run()
     assert sim.events_fired == 3
+
+
+def test_schedule_bulk_matches_sequential_pop_order():
+    mixed = [(5.0, "a"), (1.0, "b"), (5.0, "c"), (3.0, "d"), (1.0, "e")]
+    seq_sim, bulk_sim = Simulator(), Simulator()
+    seq_fired, bulk_fired = [], []
+    for t, label in mixed:
+        seq_sim.schedule_at(t, seq_fired.append, label)
+    bulk_sim.schedule_bulk((t, bulk_fired.append, label) for t, label in mixed)
+    seq_sim.run()
+    bulk_sim.run()
+    # ties broken by sequence number = iteration order, same as one
+    # schedule_at call per item
+    assert bulk_fired == seq_fired == ["b", "e", "d", "a", "c"]
+
+
+def test_schedule_bulk_interleaves_with_preexisting_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(2.0, fired.append, "old")
+    sim.schedule_bulk([(1.0, fired.append, "new1"), (2.0, fired.append, "new2")])
+    sim.run()
+    # the pre-existing event at t=2.0 has the smaller seq, so it wins its tie
+    assert fired == ["new1", "old", "new2"]
+
+
+def test_schedule_bulk_rejects_past_times():
+    import pytest
+
+    from repro.simkit.engine import SimulationError
+
+    sim = Simulator()
+    sim.schedule_at(5.0, lambda: None)
+    sim.run()
+    assert sim.now == 5.0
+    with pytest.raises(SimulationError):
+        sim.schedule_bulk([(6.0, lambda: None), (4.0, lambda: None)])
+
+
+def test_schedule_bulk_events_are_cancellable():
+    sim = Simulator()
+    fired = []
+    events = sim.schedule_bulk((float(i), fired.append, i) for i in range(10))
+    for ev in events[::2]:
+        assert ev.cancel() is True
+    assert sim.pending_count == 5
+    sim.run()
+    assert fired == [1, 3, 5, 7, 9]
