@@ -18,6 +18,32 @@ Neighbor_Traffic body (Table 1, 20 bytes)::
 
 Neighbor-list body (payload 0x82): count (2 bytes) then count * 4-byte
 addresses.
+
+The live UDP testbed (:mod:`repro.live`) additionally needs the classic
+Gnutella payloads on the wire; their codecs live here next to the
+DD-POLICE bodies so every descriptor shares one contract: encode
+validates field ranges, decode raises only
+:class:`~repro.errors.WireFormatError` on malformed input.
+
+Query body (payload 0x80)::
+
+    offset  0: Minimum speed      (2 bytes, big-endian)
+    offset  2: Search string      (UTF-8, keywords joined by spaces)
+    last byte: NUL terminator
+
+Pong body (payload 0x01, 14 bytes): port (2), synthetic IPv4 address
+(4), shared-file count (4), shared kilobytes (4; always 0 here). The
+testbed's id<->(host, port) mapping is learned from the datagram source
+address, so the port field is advisory (0 unless the caller passes one).
+
+Bye body (payload 0x02): reason code (2 bytes, big-endian) followed by
+an optional UTF-8 reason text.
+
+QueryHit body (payload 0x81): number of hits (1), port (2), synthetic
+IPv4 address (4), speed (4), then 40 zero bytes per result descriptor
+(at least one), then the originating query's GUID (16 bytes) in the
+trailing servent-identifier slot -- our reverse-path routing keys on the
+query GUID where real servents key on the message GUID.
 """
 
 from __future__ import annotations
@@ -27,15 +53,24 @@ from dataclasses import dataclass
 from repro.errors import WireFormatError
 from repro.overlay.ids import Guid, PeerId
 from repro.overlay.message import (
+    Bye,
     MessageKind,
     NeighborListMessage,
     NeighborTrafficMessage,
+    Ping,
+    Pong,
+    Query,
+    QueryHit,
 )
 
 HEADER_SIZE = 23
 NEIGHBOR_TRAFFIC_BODY_SIZE = 20
+PONG_BODY_SIZE = 14
 _HEADER_STRUCT = struct.Struct("<16sBBBI")  # GUID, kind, ttl, hops, length
 _TRAFFIC_BODY_STRUCT = struct.Struct(">4s4sIII")
+_PONG_BODY_STRUCT = struct.Struct(">H4sII")  # port, ip, files, kbytes
+_QUERY_HIT_HEAD_STRUCT = struct.Struct(">BH4sI")  # hits, port, ip, speed
+_QUERY_HIT_DESCRIPTOR_SIZE = 40
 
 
 def _decode_addr(raw: bytes, what: str) -> PeerId:
@@ -194,4 +229,231 @@ def decode_neighbor_list(raw: bytes) -> NeighborListMessage:
         hops=header.hops,
         sender=sender,
         neighbors=frozenset(neighbors),
+    )
+
+
+# ---------------------------------------------------------------------------
+# shared decode plumbing for the classic Gnutella payloads
+# ---------------------------------------------------------------------------
+
+def _decode_body(raw: bytes, kind: MessageKind) -> "tuple[GnutellaHeader, bytes]":
+    """Common prologue: parse + kind-check the header, length-check the body."""
+    header = GnutellaHeader.decode(raw)
+    if header.kind is not kind:
+        raise WireFormatError(f"expected {kind.name}, got {header.kind}")
+    body = raw[HEADER_SIZE:]
+    if len(body) != header.payload_length:
+        raise WireFormatError(
+            f"body length {len(body)} != header payload_length "
+            f"{header.payload_length}"
+        )
+    return header, body
+
+
+def _decode_text(raw: bytes, what: str) -> str:
+    try:
+        return raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireFormatError(f"bad {what} text: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Ping (payload 0x00)
+# ---------------------------------------------------------------------------
+
+def encode_ping(msg: Ping) -> bytes:
+    """Serialize a Ping: header only, empty body."""
+    header = GnutellaHeader(
+        guid=msg.guid, kind=MessageKind.PING, ttl=msg.ttl, hops=msg.hops,
+        payload_length=0,
+    )
+    return header.encode()
+
+
+def decode_ping(raw: bytes) -> Ping:
+    """Parse a Ping; any payload bytes are a wire defect."""
+    header, body = _decode_body(raw, MessageKind.PING)
+    if body:
+        raise WireFormatError(f"Ping carries no payload, got {len(body)} bytes")
+    return Ping(guid=header.guid, ttl=header.ttl, hops=header.hops)
+
+
+# ---------------------------------------------------------------------------
+# Pong (payload 0x01)
+# ---------------------------------------------------------------------------
+
+def encode_pong(msg: Pong, *, port: int = 0) -> bytes:
+    """Serialize header + 14-byte Pong body.
+
+    ``port`` is the advertised UDP port; receivers learn the actual
+    transport address from the datagram source, so 0 is acceptable.
+    """
+    if msg.responder is None:
+        raise WireFormatError("Pong requires a responder")
+    if not (0 <= port <= 0xFFFF):
+        raise WireFormatError(f"port out of range: {port}")
+    if not (0 <= msg.shared_files <= 0xFFFFFFFF):
+        raise WireFormatError(f"shared_files exceeds 32 bits: {msg.shared_files}")
+    header = GnutellaHeader(
+        guid=msg.guid, kind=MessageKind.PONG, ttl=msg.ttl, hops=msg.hops,
+        payload_length=PONG_BODY_SIZE,
+    )
+    body = _PONG_BODY_STRUCT.pack(
+        port, msg.responder.ipv4_bytes(), msg.shared_files, 0
+    )
+    return header.encode() + body
+
+
+def decode_pong(raw: bytes) -> Pong:
+    """Parse header + Pong body back into a message object."""
+    header, body = _decode_body(raw, MessageKind.PONG)
+    if len(body) != PONG_BODY_SIZE:
+        raise WireFormatError(
+            f"Pong body must be {PONG_BODY_SIZE} bytes, got {len(body)}"
+        )
+    _port, ip_raw, files, _kbytes = _PONG_BODY_STRUCT.unpack(body)
+    return Pong(
+        guid=header.guid,
+        ttl=header.ttl,
+        hops=header.hops,
+        responder=_decode_addr(ip_raw, "responder"),
+        shared_files=files,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Query (payload 0x80)
+# ---------------------------------------------------------------------------
+
+def encode_query(msg: Query) -> bytes:
+    """Serialize header + min-speed + NUL-terminated search string.
+
+    Keywords are joined by single spaces on the wire, so a keyword that
+    itself contains a space (or NUL, or is empty) would not survive the
+    round trip -- encode rejects it rather than silently reshaping the
+    query.
+    """
+    if not (0 <= msg.min_speed <= 0xFFFF):
+        raise WireFormatError(f"min_speed out of range: {msg.min_speed}")
+    for kw in msg.keywords:
+        if not kw:
+            raise WireFormatError("empty keyword cannot be encoded")
+        if " " in kw or "\x00" in kw:
+            raise WireFormatError(f"keyword contains a separator: {kw!r}")
+    text = msg.search_string.encode("utf-8")
+    body = struct.pack(">H", msg.min_speed) + text + b"\x00"
+    header = GnutellaHeader(
+        guid=msg.guid, kind=MessageKind.QUERY, ttl=msg.ttl, hops=msg.hops,
+        payload_length=len(body),
+    )
+    return header.encode() + body
+
+
+def decode_query(raw: bytes) -> Query:
+    """Parse header + query body back into a message object."""
+    header, body = _decode_body(raw, MessageKind.QUERY)
+    if len(body) < 3:
+        raise WireFormatError(f"Query body too short: {len(body)} bytes")
+    if body[-1] != 0:
+        raise WireFormatError("Query search string is not NUL-terminated")
+    (min_speed,) = struct.unpack(">H", body[:2])
+    text_raw = body[2:-1]
+    if b"\x00" in text_raw:
+        raise WireFormatError("Query search string contains an embedded NUL")
+    text = _decode_text(text_raw, "search string")
+    keywords = tuple(text.split(" ")) if text else ()
+    return Query(
+        guid=header.guid,
+        ttl=header.ttl,
+        hops=header.hops,
+        keywords=keywords,
+        min_speed=min_speed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# QueryHit (payload 0x81)
+# ---------------------------------------------------------------------------
+
+def encode_query_hit(msg: QueryHit, *, port: int = 0) -> bytes:
+    """Serialize header + hit body (descriptors are zero padding).
+
+    The originating query's GUID rides in the trailing 16-byte servent
+    slot: that is what reverse-path routing keys on (see
+    :class:`~repro.overlay.message.QueryHit`).
+    """
+    if msg.responder is None:
+        raise WireFormatError("QueryHit requires a responder")
+    if msg.query_guid is None:
+        raise WireFormatError("QueryHit requires the query GUID")
+    if not (0 <= msg.result_count <= 0xFF):
+        raise WireFormatError(f"result_count out of byte range: {msg.result_count}")
+    if not (0 <= port <= 0xFFFF):
+        raise WireFormatError(f"port out of range: {port}")
+    descriptors = max(1, msg.result_count)
+    body = (
+        _QUERY_HIT_HEAD_STRUCT.pack(
+            msg.result_count, port, msg.responder.ipv4_bytes(), 0
+        )
+        + b"\x00" * (_QUERY_HIT_DESCRIPTOR_SIZE * descriptors)
+        + msg.query_guid.raw
+    )
+    header = GnutellaHeader(
+        guid=msg.guid, kind=MessageKind.QUERY_HIT, ttl=msg.ttl, hops=msg.hops,
+        payload_length=len(body),
+    )
+    return header.encode() + body
+
+
+def decode_query_hit(raw: bytes) -> QueryHit:
+    """Parse header + hit body back into a message object."""
+    header, body = _decode_body(raw, MessageKind.QUERY_HIT)
+    head_size = _QUERY_HIT_HEAD_STRUCT.size
+    if len(body) < head_size + _QUERY_HIT_DESCRIPTOR_SIZE + 16:
+        raise WireFormatError(f"QueryHit body too short: {len(body)} bytes")
+    count, _port, ip_raw, _speed = _QUERY_HIT_HEAD_STRUCT.unpack(body[:head_size])
+    expected = head_size + _QUERY_HIT_DESCRIPTOR_SIZE * max(1, count) + 16
+    if len(body) != expected:
+        raise WireFormatError(
+            f"QueryHit body length {len(body)} != expected {expected} "
+            f"for {count} result(s)"
+        )
+    return QueryHit(
+        guid=header.guid,
+        ttl=header.ttl,
+        hops=header.hops,
+        responder=_decode_addr(ip_raw, "responder"),
+        result_count=count,
+        query_guid=Guid(body[-16:]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Bye (payload 0x02)
+# ---------------------------------------------------------------------------
+
+def encode_bye(msg: Bye) -> bytes:
+    """Serialize header + reason code + optional UTF-8 reason text."""
+    if not (0 <= msg.reason_code <= 0xFFFF):
+        raise WireFormatError(f"reason_code out of range: {msg.reason_code}")
+    body = struct.pack(">H", msg.reason_code) + msg.reason_text.encode("utf-8")
+    header = GnutellaHeader(
+        guid=msg.guid, kind=MessageKind.BYE, ttl=msg.ttl, hops=msg.hops,
+        payload_length=len(body),
+    )
+    return header.encode() + body
+
+
+def decode_bye(raw: bytes) -> Bye:
+    """Parse header + Bye body back into a message object."""
+    header, body = _decode_body(raw, MessageKind.BYE)
+    if len(body) < 2:
+        raise WireFormatError(f"Bye body too short: {len(body)} bytes")
+    (code,) = struct.unpack(">H", body[:2])
+    return Bye(
+        guid=header.guid,
+        ttl=header.ttl,
+        hops=header.hops,
+        reason_code=code,
+        reason_text=_decode_text(body[2:], "reason"),
     )

@@ -69,6 +69,7 @@ from repro.experiments.spec import (
     trial_seed,
 )
 from repro.faults.plan import CrashRule, FaultPlan
+from repro.live.spec import live_grid_for
 from repro.metrics.damage import damage_rate, damage_rate_series, damage_recovery_time
 from repro.metrics.series import TimeSeries
 from repro.obs.config import ObsConfig
@@ -247,17 +248,19 @@ def _execute(
 ) -> List[CaseResult]:
     if obs is not None:
         cases = [replace(c, obs=obs) for c in cases]
+    if spec.backend == "live":
+        cases = [replace(c, live=spec.live) for c in cases]
     return run_cases(cases, backend=spec.backend, workers=workers)
 
 
 def _case_rows(res: CaseResult, backend: str) -> List[Tuple[float, float]]:
     """Per-minute (minute, success) samples, backend-normalized.
 
-    The fluid backend reports integer minutes; DES reports the
-    collector's second timestamps, converted here so the timeline
-    scenarios aggregate both on the same axis.
+    The fluid backend reports integer minutes; DES and the live testbed
+    report second timestamps, converted here so the timeline scenarios
+    aggregate all of them on the same axis.
     """
-    if backend == "des":
+    if backend in ("des", "live"):
         return [(t / 60.0, v) for t, v in res.rows]
     return list(res.rows)
 
@@ -1181,6 +1184,7 @@ def spec_at_scale(
         scale=_SCALES[name](),
         faults=fault_grid_for(name),
         matrix=matrix_grid_for(name),
+        live=live_grid_for(name),
     )
 
 

@@ -56,6 +56,7 @@ from repro.experiments.scenarios import (
     bench_scale,
 )
 from repro.faults.plan import FaultPlan
+from repro.live.spec import LiveSpec
 from repro.obs.config import ObsConfig
 from repro.obs.manifest import config_sha256, jsonable_config
 from repro.simkit.rng import derive_seed
@@ -228,6 +229,12 @@ class ExperimentSpec:
     )
     #: PPM traceback baseline parameters (the matrix's third defense).
     traceback: TracebackConfig = TracebackConfig()
+    #: Real-socket swarm sizing (``live`` backend only; others ignore
+    #: it). The default matches the default ``bench`` scale the same
+    #: way ``live_grid_for`` does for ``--scale``.
+    live: LiveSpec = LiveSpec(
+        name="bench", n_nodes=200, minute_s=2.0, drain_timeout_s=20.0
+    )
     grid: GridSpec = GridSpec()
     tables: Tuple[str, ...] = ()
 
@@ -513,6 +520,8 @@ class Case:
     #: First minute of the steady-state window; None skips steady means.
     settle_min: Optional[int] = None
     obs: Optional[ObsConfig] = None
+    #: Real-socket swarm sizing (``live`` backend only; others ignore it).
+    live: LiveSpec = LiveSpec()
 
     def __post_init__(self) -> None:
         if not (0 <= self.num_agents <= self.n):
@@ -821,6 +830,19 @@ def _soa_case_task(case: Case) -> CaseResult:
     return soa_case_result(DESConfig(**kwargs), case.settle_min)
 
 
+def _live_case_task(case: Case) -> CaseResult:
+    """One real-socket swarm case (pure, picklable): spawn, babysit, extract.
+
+    The heavy import stays lazy so ``pmap`` workers that never run a
+    live case don't pay for (or require) the asyncio/socket machinery.
+    Unsupported feature combinations (faults, adaptive adversaries,
+    traceback, collusion) are rejected loudly by the runner.
+    """
+    from repro.live.runner import run_live_case
+
+    return run_live_case(case)
+
+
 @dataclass(frozen=True)
 class Backend:
     """A registered execution engine for :class:`Case` lists."""
@@ -878,6 +900,13 @@ register_backend(
         name="des-soa",
         task_fn=_soa_case_task,
         description="batched struct-of-arrays flood engine (100k-1M peers)",
+    )
+)
+register_backend(
+    Backend(
+        name="live",
+        task_fn=_live_case_task,
+        description="real-socket UDP testbed (node processes on localhost)",
     )
 )
 

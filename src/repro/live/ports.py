@@ -1,0 +1,154 @@
+"""UDP port allocation for localhost swarms.
+
+Every multi-hundred-process localhost swarm eventually hits the same
+two failure modes: a stale socket in ``TIME_WAIT``-adjacent limbo makes
+a fixed port plan flaky (``EADDRINUSE``), and fully OS-assigned ports
+make runs hard to reproduce or firewall. This module supports both
+strategies:
+
+* **ephemeral** (default): bind ``count`` sockets to port 0 at once,
+  read the kernel-assigned ports back, release them. Holding all
+  sockets until the full set is known minimizes reuse races between
+  allocation and node start-up.
+* **based**: scan upward from a base port, skipping busy ports. The
+  base comes from the ``base`` argument or the ``$REPRO_LIVE_PORT_BASE``
+  environment variable -- the deterministic override for CI and for
+  debugging with tcpdump.
+
+Node processes additionally use :func:`bind_udp_socket`, which retries
+a specific port with bounded backoff before giving up -- the supervisor
+hands each node its allocated port, and the retry absorbs the window
+where a previous run's socket is still being torn down.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import socket
+import time
+from typing import Callable, List, Mapping, Optional
+
+from repro.errors import ConfigError
+
+#: Environment variable naming a deterministic base port.
+ENV_PORT_BASE = "REPRO_LIVE_PORT_BASE"
+
+#: Lowest base port we accept (below this lives privileged territory).
+MIN_PORT = 1024
+MAX_PORT = 65_535
+
+
+def port_base_from_env(env: Optional[Mapping[str, str]] = None) -> Optional[int]:
+    """The ``$REPRO_LIVE_PORT_BASE`` override, validated; None if unset."""
+    env = os.environ if env is None else env
+    text = env.get(ENV_PORT_BASE)
+    if text is None or not text.strip():
+        return None
+    try:
+        base = int(text)
+    except ValueError:
+        raise ConfigError(f"{ENV_PORT_BASE} is not an integer: {text!r}")
+    if not (MIN_PORT <= base <= MAX_PORT):
+        raise ConfigError(
+            f"{ENV_PORT_BASE} out of range [{MIN_PORT}, {MAX_PORT}]: {base}"
+        )
+    return base
+
+
+def _udp_socket() -> socket.socket:
+    return socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+
+
+def bind_udp_socket(
+    host: str,
+    port: int,
+    *,
+    retries: int = 5,
+    backoff_s: float = 0.05,
+    sleep: Callable[[float], None] = time.sleep,
+) -> socket.socket:
+    """Bind a UDP socket, retrying ``EADDRINUSE`` with doubling backoff.
+
+    ``port=0`` asks the kernel for an ephemeral port (no retry needed).
+    After ``retries`` failed attempts the final :class:`OSError` is
+    wrapped in :class:`~repro.errors.ConfigError` naming the address.
+    """
+    if retries < 0:
+        raise ConfigError(f"retries must be non-negative, got {retries}")
+    if backoff_s <= 0:
+        raise ConfigError(f"backoff_s must be positive, got {backoff_s}")
+    attempt = 0
+    while True:
+        sock = _udp_socket()
+        try:
+            sock.bind((host, port))
+            return sock
+        except OSError as exc:
+            sock.close()
+            if exc.errno != errno.EADDRINUSE or attempt >= retries:
+                raise ConfigError(
+                    f"cannot bind UDP {host}:{port} "
+                    f"after {attempt + 1} attempt(s): {exc}"
+                ) from exc
+            sleep(backoff_s * (2 ** attempt))
+            attempt += 1
+
+
+def allocate_udp_ports(
+    count: int,
+    *,
+    host: str = "127.0.0.1",
+    base: Optional[int] = None,
+    env: Optional[Mapping[str, str]] = None,
+    span: int = 8192,
+) -> List[int]:
+    """Allocate ``count`` distinct usable UDP ports on ``host``.
+
+    With a base port (argument, else ``$REPRO_LIVE_PORT_BASE``), ports
+    are the first ``count`` bindable ports scanning upward from the base
+    within ``span`` candidates -- deterministic module busy neighbors.
+    Without one, the kernel assigns ephemeral ports.
+    """
+    if count < 1:
+        raise ConfigError(f"count must be >= 1, got {count}")
+    if base is None:
+        base = port_base_from_env(env)
+    if base is not None and not (MIN_PORT <= base <= MAX_PORT):
+        raise ConfigError(f"base port out of range [{MIN_PORT}, {MAX_PORT}]: {base}")
+
+    ports: List[int] = []
+    held: List[socket.socket] = []
+    try:
+        if base is None:
+            for _ in range(count):
+                sock = _udp_socket()
+                sock.bind((host, 0))
+                held.append(sock)
+                ports.append(sock.getsockname()[1])
+            return ports
+        candidate = base
+        end = min(MAX_PORT, base + span - 1)
+        while len(ports) < count and candidate <= end:
+            sock = _udp_socket()
+            try:
+                sock.bind((host, candidate))
+            except OSError as exc:
+                sock.close()
+                if exc.errno not in (errno.EADDRINUSE, errno.EACCES):
+                    raise ConfigError(
+                        f"cannot probe UDP {host}:{candidate}: {exc}"
+                    ) from exc
+            else:
+                held.append(sock)
+                ports.append(candidate)
+            candidate += 1
+        if len(ports) < count:
+            raise ConfigError(
+                f"only {len(ports)} of {count} ports bindable in "
+                f"[{base}, {end}] on {host}"
+            )
+        return ports
+    finally:
+        for sock in held:
+            sock.close()

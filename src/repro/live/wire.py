@@ -1,0 +1,93 @@
+"""Datagram framing for the live UDP overlay.
+
+One overlay message per UDP datagram: the 23-byte Gnutella header
+(:class:`repro.core.wire.GnutellaHeader`) selects the payload codec.
+:func:`decode_message` and :func:`encode_message` dispatch over *every*
+payload descriptor -- the classic Gnutella vocabulary plus the two
+DD-POLICE extensions -- so the node's receive loop is a single call.
+
+Both directions keep the :mod:`repro.core.wire` contract: malformed
+input raises only :class:`~repro.errors.WireFormatError` (a
+:class:`~repro.errors.ProtocolError`), never a bare struct/Unicode
+error.
+
+One deliberate divergence from the DES objects: the in-memory
+``NeighborListMessage.sent_at`` stamp is not on the wire (real servents
+would carry a sequence number), so lists decoded here arrive with
+``sent_at=None`` and the police engine's stale-list reorder guard is
+inert on the testbed -- UDP on loopback essentially never reorders
+across the 2-minute exchange period.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.wire import (
+    decode_bye,
+    decode_neighbor_list,
+    decode_neighbor_traffic,
+    decode_ping,
+    decode_pong,
+    decode_query,
+    decode_query_hit,
+    encode_bye,
+    encode_neighbor_list,
+    encode_neighbor_traffic,
+    encode_ping,
+    encode_pong,
+    encode_query,
+    encode_query_hit,
+    GnutellaHeader,
+)
+from repro.errors import WireFormatError
+from repro.overlay.message import Message, MessageKind
+
+#: Largest UDP payload we will emit (IPv4 65,535 minus IP/UDP headers).
+MAX_DATAGRAM = 65_507
+
+_DECODERS: Dict[MessageKind, Callable[[bytes], Message]] = {
+    MessageKind.PING: decode_ping,
+    MessageKind.PONG: decode_pong,
+    MessageKind.QUERY: decode_query,
+    MessageKind.QUERY_HIT: decode_query_hit,
+    MessageKind.BYE: decode_bye,
+    MessageKind.NEIGHBOR_LIST: decode_neighbor_list,
+    MessageKind.NEIGHBOR_TRAFFIC: decode_neighbor_traffic,
+}
+
+_ENCODERS: Dict[MessageKind, Callable[[Message], bytes]] = {
+    MessageKind.PING: encode_ping,
+    MessageKind.PONG: encode_pong,
+    MessageKind.QUERY: encode_query,
+    MessageKind.QUERY_HIT: encode_query_hit,
+    MessageKind.BYE: encode_bye,
+    MessageKind.NEIGHBOR_LIST: encode_neighbor_list,
+    MessageKind.NEIGHBOR_TRAFFIC: encode_neighbor_traffic,
+}
+
+
+def decode_message(raw: bytes) -> Message:
+    """Decode one datagram into its message object.
+
+    The header's payload descriptor selects the codec; every defect --
+    unknown descriptor, truncation, bad address bytes, bad UTF-8 --
+    surfaces as :class:`~repro.errors.WireFormatError`.
+    """
+    if len(raw) > MAX_DATAGRAM:
+        raise WireFormatError(f"datagram too large: {len(raw)} bytes")
+    header = GnutellaHeader.decode(raw)
+    return _DECODERS[header.kind](raw)
+
+
+def encode_message(msg: Message) -> bytes:
+    """Encode one message object into its datagram."""
+    encoder = _ENCODERS.get(msg.kind)
+    if encoder is None:
+        raise WireFormatError(f"no wire codec for message kind {msg.kind}")
+    raw = encoder(msg)
+    if len(raw) > MAX_DATAGRAM:
+        raise WireFormatError(
+            f"encoded {msg.kind.name} exceeds the datagram limit: {len(raw)} bytes"
+        )
+    return raw

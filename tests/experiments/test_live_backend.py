@@ -1,0 +1,78 @@
+"""Cross-backend validation: the live UDP testbed agrees with the DES.
+
+The message-level DES is the repo's ground-truth oracle; the ``live``
+backend replays the same registered agent-sweep scenario over real
+loopback sockets and OS processes. Running one spec through both must
+reproduce the paper's qualitative Figure 9-11 claims on each: the
+attack inflates traffic and depresses the success rate, and DD-POLICE
+cuts the flooder and restores the success rate toward its no-attack
+level.
+
+The spec exercises the documented live scale adaptation: the abstract
+scenario runs n=100 peers, the swarm caps at the ``LiveSpec`` size
+(10 processes) with the agent count scaled to keep attack density.
+Workload rates keep the no-attack regime under the per-peer capacity
+on the DES side (flooding delivers every query to every peer, so 3
+qpm x 100 peers ~ 300 qpm incoming) while the 2000-qpm flooder
+saturates its neighborhood on both backends.
+
+The live swarm measures real wall-clock behaviour, so its numbers are
+nondeterministic run to run; margins below are directional, not exact,
+and were chosen ~3x wider than observed run-to-run spread.
+"""
+
+import pytest
+
+from repro.core.config import DDPoliceConfig
+from repro.experiments.library import run_spec
+from repro.experiments.scenarios import Scale
+from repro.experiments.spec import ExperimentSpec, GridSpec, WorkloadSpec
+from repro.live.spec import LiveSpec
+
+
+def _spec(backend: str) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=f"live-xback-{backend}",
+        scenario="agent-sweep",
+        backend=backend,
+        seed=7,
+        scale=Scale(
+            name="xlive", n_peers=100, sim_minutes=8, attack_start_min=1, trials=1
+        ),
+        police=DDPoliceConfig(exchange_period_s=30.0, q_threshold_qpm=10.0),
+        workload=WorkloadSpec(
+            queries_per_minute=3.0,
+            attack_rate_qpm=2000.0,
+            capacity_qpm=400.0,
+            cheat_strategy="honest",
+        ),
+        grid=GridSpec(agent_counts=(1,)),
+        live=LiveSpec(name="xback", n_nodes=10, minute_s=0.5),
+    )
+
+
+@pytest.fixture(scope="module", params=["des", "live"])
+def row(request):
+    # The live backend spawns a 10-process swarm per case; one worker
+    # keeps the three swarms sequential so they never fight for ports
+    # or CPU (which would distort the wall-clock minute windows).
+    workers = 1 if request.param == "live" else 4
+    run = run_spec(_spec(request.param), workers=workers, cache=False)
+    assert run.cases == 3
+    return run.data[0]
+
+
+@pytest.mark.slow
+def test_attack_raises_traffic_cost(row):
+    assert row.traffic_attack_k > 1.2 * row.traffic_no_ddos_k, row
+
+
+@pytest.mark.slow
+def test_attack_depresses_success_rate(row):
+    assert row.success_attack < row.success_no_ddos - 0.1, row
+
+
+@pytest.mark.slow
+def test_ddpolice_recovers_success_rate(row):
+    assert row.success_defended > row.success_attack + 0.1, row
+    assert row.success_defended > row.success_no_ddos - 0.25, row

@@ -57,7 +57,7 @@ def test_unknown_backend_lists_registered():
 
 
 def test_backend_registry_has_fluid_and_des():
-    assert [b.name for b in list_backends()] == ["des", "des-soa", "fluid"]
+    assert [b.name for b in list_backends()] == ["des", "des-soa", "fluid", "live"]
 
 
 def test_every_spec_scenario_and_tables_resolve():

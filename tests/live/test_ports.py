@@ -1,0 +1,155 @@
+"""Unit tests for live swarm UDP port allocation."""
+
+import socket
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.live.ports import (
+    ENV_PORT_BASE,
+    allocate_udp_ports,
+    bind_udp_socket,
+    port_base_from_env,
+)
+
+
+def hold_udp(host, port):
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    sock.bind((host, port))
+    return sock
+
+
+# ---------------------------------------------------------------------------
+# $REPRO_LIVE_PORT_BASE
+# ---------------------------------------------------------------------------
+
+def test_env_unset_means_none():
+    assert port_base_from_env({}) is None
+    assert port_base_from_env({ENV_PORT_BASE: "  "}) is None
+
+
+def test_env_valid_base():
+    assert port_base_from_env({ENV_PORT_BASE: "42000"}) == 42000
+
+
+def test_env_non_integer_rejected():
+    with pytest.raises(ConfigError):
+        port_base_from_env({ENV_PORT_BASE: "not-a-port"})
+
+
+@pytest.mark.parametrize("bad", ["80", "70000", "-1"])
+def test_env_out_of_range_rejected(bad):
+    with pytest.raises(ConfigError):
+        port_base_from_env({ENV_PORT_BASE: bad})
+
+
+def test_allocate_honours_env_override():
+    holder = hold_udp("127.0.0.1", 0)
+    try:
+        base = holder.getsockname()[1]
+    finally:
+        holder.close()
+    ports = allocate_udp_ports(3, env={ENV_PORT_BASE: str(base)}, span=64)
+    assert ports[0] >= base
+    assert len(ports) == 3
+
+
+# ---------------------------------------------------------------------------
+# bind_udp_socket: EADDRINUSE retry with bounded backoff
+# ---------------------------------------------------------------------------
+
+def test_bind_plain_success():
+    sock = bind_udp_socket("127.0.0.1", 0)
+    try:
+        assert sock.getsockname()[1] > 0
+    finally:
+        sock.close()
+
+
+def test_bind_retries_until_port_frees():
+    holder = hold_udp("127.0.0.1", 0)
+    port = holder.getsockname()[1]
+    slept = []
+
+    def sleep(seconds):
+        slept.append(seconds)
+        if len(slept) == 2:
+            holder.close()  # port frees up after the second backoff
+
+    sock = bind_udp_socket("127.0.0.1", port, retries=5, backoff_s=0.01, sleep=sleep)
+    try:
+        assert sock.getsockname()[1] == port
+    finally:
+        sock.close()
+    # Doubling backoff: 0.01, 0.02 before the successful third attempt.
+    assert slept == [0.01, 0.02]
+
+
+def test_bind_gives_up_after_retries():
+    holder = hold_udp("127.0.0.1", 0)
+    port = holder.getsockname()[1]
+    slept = []
+    try:
+        with pytest.raises(ConfigError) as err:
+            bind_udp_socket(
+                "127.0.0.1", port, retries=3, backoff_s=0.01, sleep=slept.append
+            )
+    finally:
+        holder.close()
+    assert str(port) in str(err.value)
+    assert slept == [0.01, 0.02, 0.04]
+
+
+def test_bind_non_addrinuse_error_not_retried():
+    slept = []
+    with pytest.raises(ConfigError):
+        # An unroutable bind address fails with something other than
+        # EADDRINUSE; the retry loop must not mask it.
+        bind_udp_socket("203.0.113.7", 0, sleep=slept.append)
+    assert slept == []
+
+
+def test_bind_rejects_bad_parameters():
+    with pytest.raises(ConfigError):
+        bind_udp_socket("127.0.0.1", 0, retries=-1)
+    with pytest.raises(ConfigError):
+        bind_udp_socket("127.0.0.1", 0, backoff_s=0.0)
+
+
+# ---------------------------------------------------------------------------
+# allocate_udp_ports
+# ---------------------------------------------------------------------------
+
+def test_ephemeral_allocation_is_distinct_and_bindable():
+    ports = allocate_udp_ports(20, env={})
+    assert len(set(ports)) == 20
+    socks = [hold_udp("127.0.0.1", p) for p in ports]
+    for sock in socks:
+        sock.close()
+
+
+def test_based_allocation_skips_busy_ports():
+    probe = allocate_udp_ports(1, env={})
+    base = probe[0]
+    holder = hold_udp("127.0.0.1", base)
+    try:
+        ports = allocate_udp_ports(3, base=base, span=64)
+    finally:
+        holder.close()
+    assert base not in ports
+    assert ports == sorted(ports)
+    assert all(p > base for p in ports)
+
+
+def test_based_allocation_exhaustion_is_config_error():
+    probe = allocate_udp_ports(1, env={})
+    base = probe[0]
+    with pytest.raises(ConfigError):
+        allocate_udp_ports(10, base=base, span=4)
+
+
+def test_allocate_rejects_bad_count_and_base():
+    with pytest.raises(ConfigError):
+        allocate_udp_ports(0)
+    with pytest.raises(ConfigError):
+        allocate_udp_ports(1, base=80)
