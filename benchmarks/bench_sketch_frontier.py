@@ -1,0 +1,263 @@
+"""Sketch frontier: count-min evidence memory vs detection quality.
+
+Not a paper figure -- the memory/fidelity frontier of the pluggable
+evidence layer (docs/SKETCH.md). The grid is the registered
+``sketch-frontier`` spec (:mod:`repro.experiments.library`): for each
+attack rate it runs the exact evidence store once and the count-min
+store at several widths on the batched SoA engine, reporting detection
+latency, false suspects, and end-of-run evidence bytes per cell.
+
+At non-smoke scales the module also runs the acceptance pair -- exact
+vs sketch DD-POLICE on a fig9-style attacked run at the paper's
+n=20,000 -- in spawn-isolated children (per-row peak-RSS truth, as in
+bench_scaling) and appends their throughput/RSS rows to the published
+table. The gate: the sketch convicts every true attacker with >= 10x
+less evidence memory than exact.
+
+At smoke scale the published table is exactly the spec table, so the
+CI ``spec-smoke`` byte-diff against the CLI runner holds.
+"""
+
+import multiprocessing
+import os
+import resource
+from dataclasses import replace
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.experiments.library import _frontier_axes, run_spec
+from repro.experiments.reporting import render_table
+from repro.experiments.spec import _extract_case_result
+
+SEED = 31  # the registered sketch-frontier spec's seed
+
+#: The acceptance pair: fig9's population and smallest agent density
+#: (0.05% -> 10 agents) on the BA m=1 tree, one attacked window long
+#: enough for the slowest exact conviction (~150 s after onset).
+GATE_N = 20_000
+GATE_AGENTS = 10
+GATE_MINUTES = 5
+GATE_RATE_QPM = 2_000.0
+
+
+def evidence_probe(backend, *, cm_width=2048, cm_depth=2):
+    """One attacked DD-POLICE run at paper scale; evidence + perf row.
+
+    Module-level (not a closure) so the spawn context can pickle it.
+    """
+    from repro.core.config import DDPoliceConfig
+    from repro.evidence import EvidenceConfig
+    from repro.experiments.runner import DESConfig
+    from repro.overlay.network import NetworkConfig
+    from repro.overlay.soa_network import run_soa_experiment
+    from repro.overlay.topology import TopologyConfig
+
+    cfg = DESConfig(
+        n=GATE_N,
+        duration_s=GATE_MINUTES * 60.0,
+        seed=SEED,
+        topology=TopologyConfig(n=GATE_N, seed=SEED, ba_m=1),
+        network=NetworkConfig(hop_latency_jitter_s=0.0),
+        num_agents=GATE_AGENTS,
+        attack_start_s=60.0,
+        attack_rate_qpm=GATE_RATE_QPM,
+        defense="ddpolice",
+        police=DDPoliceConfig(
+            evidence=EvidenceConfig(
+                backend=backend, cm_width=cm_width, cm_depth=cm_depth
+            )
+        ),
+    )
+    run = run_soa_experiment(cfg)
+    case = _extract_case_result(run, cfg)
+    events = run.stats.messages_delivered + run.heap_events
+    return {
+        "backend": backend,
+        "n": GATE_N,
+        "agents": GATE_AGENTS,
+        "sim_s": cfg.duration_s,
+        "caught": case.caught_attackers,
+        "total": len(run.bad_peers),
+        "false_suspects": case.false_negative,
+        "latency_s": case.detection_latency_s,
+        "evidence_bytes": run.evidence_bytes,
+        "events": events,
+        "events_per_s": events / run.wall_s,
+        "wall_s": run.wall_s,
+        "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+    }
+
+
+def _isolated(fn, *args, **kwargs):
+    """Run one probe in a fresh spawn child so peak RSS is per-row truth."""
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(1) as pool:
+        return pool.apply(fn, args, kwargs)
+
+
+def _scale_name() -> str:
+    return os.environ.get("REPRO_SCALE", "bench").lower()
+
+
+@pytest.fixture(scope="module")
+def run():
+    return run_spec("sketch-frontier", scale=_scale_name())
+
+
+@pytest.fixture(scope="module")
+def rows(run):
+    return run.data
+
+
+@pytest.fixture(scope="module")
+def gate_rows():
+    if _scale_name() == "smoke":
+        pytest.skip("paper-scale acceptance pair runs at bench/paper only")
+    return [
+        _isolated(evidence_probe, "exact"),
+        _isolated(evidence_probe, "sketch"),
+    ]
+
+
+def _gate_table(gate_rows) -> str:
+    exact = next(r for r in gate_rows if r["backend"] == "exact")
+    return render_table(
+        [
+            "evidence",
+            "peers",
+            "agents",
+            "sim s",
+            "caught",
+            "FS",
+            "events/s",
+            "peak RSS MB",
+            "evidence KiB",
+            "vs exact",
+        ],
+        [
+            [
+                r["backend"],
+                r["n"],
+                r["agents"],
+                int(r["sim_s"]),
+                f"{r['caught']:.0f}/{r['total']}",
+                f"{r['false_suspects']:.0f}",
+                f"{r['events_per_s']:,.0f}",
+                round(r["peak_rss_mb"]),
+                f"{r['evidence_bytes'] / 1024.0:.1f}",
+                f"{exact['evidence_bytes'] / r['evidence_bytes']:.1f}x",
+            ]
+            for r in gate_rows
+        ],
+        title=(
+            "Acceptance pair: exact vs count-min evidence, fig9-style attack "
+            f"at n={GATE_N:,} ({GATE_RATE_QPM:,.0f} qpm, BA m=1, spawn-isolated)"
+        ),
+    )
+
+
+def test_sketch_frontier_table(results_dir, run, rows, request):
+    assert run.spec.seed == SEED
+    text = run.tables["sketch_frontier"]
+    if _scale_name() != "smoke":
+        gate = request.getfixturevalue("gate_rows")
+        text = text + "\n" + _gate_table(gate)
+    publish(results_dir, "sketch_frontier", text, manifest=run.manifest)
+    widths, rates = _frontier_axes(run.spec)
+    assert len(rows) == (1 + len(widths)) * len(rates)
+
+
+def test_exact_rows_are_the_unit_baseline(rows):
+    for r in rows:
+        if r.backend == "exact":
+            assert r.cm_width == 0
+            assert r.reduction == pytest.approx(1.0)
+
+
+def test_sketch_shrinks_evidence_at_some_width(run, rows):
+    # The frontier crosses 1x: the narrowest sketch always beats the
+    # exact store's per-edge arrays on memory (the widest may not at
+    # small n -- that crossover is the point of publishing the sweep).
+    _, rates = _frontier_axes(run.spec)
+    for rate in rates:
+        cells = [r for r in rows if r.backend == "sketch" and r.attack_rate_qpm == rate]
+        assert cells
+        assert max(c.reduction for c in cells) > 1.0, rate
+
+
+def test_false_suspects_fall_as_width_grows(rows):
+    # Collision mass, and with it the false-suspect count, must not
+    # grow with width at a fixed rate.
+    by_rate = {}
+    for r in rows:
+        if r.backend == "sketch":
+            by_rate.setdefault(r.attack_rate_qpm, []).append(r)
+    for rate, cells in by_rate.items():
+        cells.sort(key=lambda c: c.cm_width)
+        assert cells[-1].false_suspects <= cells[0].false_suspects, rate
+
+
+def test_widest_sketch_matches_exact_detection(rows):
+    # Count-min only overestimates, so *per-minute* sketch suspects are
+    # a superset of exact suspects (tests/property). End to end that
+    # does NOT guarantee more convictions at every width: cutting
+    # hundreds of collateral false suspects severs the evidence paths
+    # the remaining monitors need, so narrow widths can finish with
+    # fewer convictions than exact. Once collision mass is small --
+    # the widest width in the sweep -- detection matches exact.
+    exact_caught = {
+        r.attack_rate_qpm: r.caught_attackers for r in rows if r.backend == "exact"
+    }
+    widest = {}
+    for r in rows:
+        if r.backend == "sketch":
+            prev = widest.get(r.attack_rate_qpm)
+            if prev is None or r.cm_width > prev.cm_width:
+                widest[r.attack_rate_qpm] = r
+    for rate, r in widest.items():
+        assert r.caught_attackers >= exact_caught[rate], r
+
+
+def test_sketch_convicts_all_attackers_at_10x_less_memory(gate_rows):
+    """Acceptance gate: all true attackers at >= 10x less evidence memory.
+
+    At n=20,000 on BA m=1 the exact store holds two int64 minute
+    windows per directed edge (~625 KiB); the default 2x2048 int32
+    count-min pair is 32 KiB and still convicts every agent (count-min
+    never undercounts -- the cost is false suspects, swept in the
+    frontier table above, not misses).
+    """
+    exact = next(r for r in gate_rows if r["backend"] == "exact")
+    sketch = next(r for r in gate_rows if r["backend"] == "sketch")
+    assert sketch["caught"] == sketch["total"], sketch
+    reduction = exact["evidence_bytes"] / sketch["evidence_bytes"]
+    assert reduction >= 10.0, (exact["evidence_bytes"], sketch["evidence_bytes"])
+
+
+def test_bench_frontier_cell(benchmark, run):
+    from repro.core.config import DDPoliceConfig
+    from repro.evidence import EvidenceConfig
+    from repro.experiments.library import _derived_agents
+    from repro.experiments.runner import DESConfig
+    from repro.overlay.network import NetworkConfig
+    from repro.overlay.soa_network import run_soa_experiment
+    from repro.overlay.topology import TopologyConfig
+
+    sc = run.spec.scale
+    cfg = DESConfig(
+        n=sc.n_peers,
+        duration_s=sc.sim_minutes * 60.0,
+        seed=SEED,
+        topology=TopologyConfig(n=sc.n_peers, seed=SEED, ba_m=1),
+        network=NetworkConfig(hop_latency_jitter_s=0.0),
+        num_agents=_derived_agents(run.spec),
+        attack_start_s=sc.attack_start_min * 60.0,
+        attack_rate_qpm=run.spec.workload.attack_rate_qpm,
+        defense="ddpolice",
+        police=replace(
+            run.spec.police, evidence=EvidenceConfig(backend="sketch")
+        ),
+    )
+    res = benchmark.pedantic(lambda: run_soa_experiment(cfg), rounds=1, iterations=1)
+    assert res.bad_peers

@@ -9,24 +9,33 @@ windows per neighbor, fed by the peer's window rollover, and answers the
 two protocol questions: the latest Out_query(i)/In_query(i) pair (what a
 Neighbor_Traffic report carries) and whether a neighbor crossed the
 warning threshold.
+
+The actual bookkeeping lives behind the pluggable
+:class:`~repro.evidence.store.TrafficStore` interface
+(:mod:`repro.evidence`): exact per-neighbor deques by default, or
+count-min sketches at a fixed memory budget when the evidence config
+selects ``backend="sketch"`` (docs/SKETCH.md).  ``MinuteSample`` is
+re-exported here for compatibility with pre-refactor imports.
+
+The warning threshold is validated at construction time (the PR 5/6
+convention: config errors surface with a dotted path before a run
+starts, e.g. ``police.warning_threshold_qpm`` via
+:class:`~repro.core.config.DDPoliceConfig`), not on every
+``suspicious_neighbors`` call.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Dict, Hashable, List, Mapping, Optional, Tuple
+from typing import Hashable, List, Mapping, Optional, Tuple
 
 from repro.errors import ConfigError
+from repro.evidence.store import (
+    ExactTrafficStore,
+    MinuteSample,
+    TrafficStore,
+)
 
-
-@dataclass(frozen=True)
-class MinuteSample:
-    """Counts for one completed minute window for one neighbor."""
-
-    minute: int
-    out_queries: int
-    in_queries: int
+__all__ = ["MinuteSample", "TrafficMonitor"]
 
 
 class TrafficMonitor:
@@ -36,11 +45,20 @@ class TrafficMonitor:
     fluid engine).
     """
 
-    def __init__(self, history_minutes: int = 10) -> None:
-        if history_minutes < 1:
-            raise ConfigError("history_minutes must be >= 1")
-        self.history_minutes = history_minutes
-        self._history: Dict[Hashable, Deque[MinuteSample]] = {}
+    def __init__(
+        self,
+        history_minutes: int = 10,
+        *,
+        warning_threshold_qpm: Optional[float] = None,
+        store: Optional[TrafficStore] = None,
+    ) -> None:
+        if store is None:
+            store = ExactTrafficStore(history_minutes)
+        if warning_threshold_qpm is not None and warning_threshold_qpm <= 0:
+            raise ConfigError("warning_threshold_qpm must be positive")
+        self.store = store
+        self.history_minutes = store.history_minutes
+        self.warning_threshold_qpm = warning_threshold_qpm
 
     # ------------------------------------------------------------------
     def record_window(
@@ -50,53 +68,57 @@ class TrafficMonitor:
         in_counts: Mapping[Hashable, int],
     ) -> None:
         """Ingest one completed minute window's snapshots."""
-        keys = set(out_counts) | set(in_counts)
-        for key in keys:
-            sample = MinuteSample(
-                minute=minute,
-                out_queries=int(out_counts.get(key, 0)),
-                in_queries=int(in_counts.get(key, 0)),
-            )
-            dq = self._history.setdefault(key, deque(maxlen=self.history_minutes))
-            dq.append(sample)
+        self.store.record_window(minute, out_counts, in_counts)
 
     def forget(self, neighbor: Hashable) -> None:
         """Drop history for a departed neighbor."""
-        self._history.pop(neighbor, None)
+        self.store.forget(neighbor)
 
     # ------------------------------------------------------------------
     def latest(self, neighbor: Hashable) -> Optional[MinuteSample]:
-        dq = self._history.get(neighbor)
-        return dq[-1] if dq else None
+        return self.store.latest(neighbor)
 
     def out_query(self, neighbor: Hashable) -> int:
         """Out_query(neighbor): queries we sent to it in the last minute."""
-        sample = self.latest(neighbor)
-        return sample.out_queries if sample else 0
+        return self.store.out_query(neighbor)
 
     def in_query(self, neighbor: Hashable) -> int:
         """In_query(neighbor): queries it sent us in the last minute."""
-        sample = self.latest(neighbor)
-        return sample.in_queries if sample else 0
+        return self.store.in_query(neighbor)
 
     def report_pair(self, neighbor: Hashable) -> Tuple[int, int]:
         """(Out_query, In_query) -- the last two Table 1 fields."""
-        return self.out_query(neighbor), self.in_query(neighbor)
+        return self.store.report_pair(neighbor)
 
     # ------------------------------------------------------------------
-    def suspicious_neighbors(self, warning_threshold_qpm: float) -> List[Hashable]:
+    def suspicious_neighbors(
+        self, warning_threshold_qpm: Optional[float] = None
+    ) -> List[Hashable]:
         """Neighbors whose last-minute incoming count crossed the warning
-        threshold (Section 3.3 suspicion rule)."""
-        if warning_threshold_qpm <= 0:
-            raise ConfigError("warning_threshold_qpm must be positive")
-        result = []
-        for key, dq in self._history.items():
-            if dq and dq[-1].in_queries > warning_threshold_qpm:
-                result.append(key)
-        return result
+        threshold (Section 3.3 suspicion rule).
+
+        With no argument, uses the threshold fixed at construction;
+        thresholds are validated there (and by the configs that carry
+        them), not per call.
+        """
+        threshold = (
+            warning_threshold_qpm
+            if warning_threshold_qpm is not None
+            else self.warning_threshold_qpm
+        )
+        if threshold is None:
+            raise ConfigError(
+                "warning_threshold_qpm was neither configured at "
+                "construction nor passed to suspicious_neighbors"
+            )
+        return self.store.suspicious_neighbors(threshold)
 
     def history(self, neighbor: Hashable) -> List[MinuteSample]:
-        return list(self._history.get(neighbor, ()))
+        return self.store.history(neighbor)
 
     def tracked_neighbors(self) -> List[Hashable]:
-        return list(self._history.keys())
+        return self.store.tracked_neighbors()
+
+    def evidence_bytes(self) -> int:
+        """Nominal bytes of traffic evidence currently held."""
+        return self.store.evidence_bytes()

@@ -34,6 +34,8 @@ from repro.core.exchange import ConsistencyTracker, NeighborListDirectory
 from repro.core.indicators import NeighborReport
 from repro.core.monitor import TrafficMonitor
 from repro.errors import ProtocolError
+from repro.evidence.dedup import make_dedup_window
+from repro.evidence.store import make_traffic_store
 from repro.metrics.errors import Judgment, JudgmentLog
 from repro.overlay.ids import PeerId
 from repro.overlay.message import (
@@ -78,11 +80,17 @@ class DDPoliceEngine:
         self.judgments = judgment_log if judgment_log is not None else JudgmentLog()
         self._rng = rng or random.Random(peer.id.value)
 
-        self.monitor = TrafficMonitor()
+        # Evidence stores, pluggable (exact by default; docs/SKETCH.md).
+        self.monitor = TrafficMonitor(
+            warning_threshold_qpm=config.warning_threshold_qpm,
+            store=make_traffic_store(config.evidence),
+        )
         self.directory = NeighborListDirectory()
         self.consistency = ConsistencyTracker(config.inconsistency_tolerance)
         self._investigations: Dict[PeerId, Investigation] = {}
-        self._last_report_sent: Dict[PeerId, float] = {}
+        self._report_dedup = make_dedup_window(
+            config.evidence, window_s=config.report_dedup_window_s
+        )
 
         self.reports_sent = 0
         self.reports_received = 0
@@ -334,9 +342,7 @@ class DDPoliceEngine:
         self.monitor.record_window(
             minute, self.peer.last_minute_out, self.peer.last_minute_in
         )
-        for suspect in self.monitor.suspicious_neighbors(
-            self.config.warning_threshold_qpm
-        ):
+        for suspect in self.monitor.suspicious_neighbors():
             if suspect in self.peer.neighbors:
                 self._open_investigation(suspect)
 
@@ -428,10 +434,9 @@ class DDPoliceEngine:
         """
         now = self.network.now
         if not force:
-            last = self._last_report_sent.get(suspect)
-            if last is not None and now - last < self.config.report_dedup_window_s:
+            if not self._report_dedup.should_send(suspect, now):
                 return
-            self._last_report_sent[suspect] = now
+            self._report_dedup.record(suspect, now)
         out_q, in_q = self.monitor.report_pair(suspect)
         reported = apply_cheat(
             self.cheat_strategy,

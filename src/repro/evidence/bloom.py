@@ -1,0 +1,94 @@
+"""Rotating (two-generation) Bloom filter for bounded-memory dedup.
+
+Membership sketches forget by rotation, not eviction: inserts land in
+the *current* generation; once it has absorbed ``capacity`` inserts it
+becomes the *previous* generation and a zeroed bit array takes over.
+Lookups consult both, so any key among the last ``capacity`` inserts is
+always found -- the no-false-negative window the query-GUID seen cache
+needs (a false negative would re-flood a query; a false positive only
+drops a duplicate-looking one, the safe direction for DDoS defense,
+cf. PAPERS.md "Preventing DDoS using Bloom Filter: A Survey").
+
+Bits live in a ``bytearray`` (8 bits per byte), so ``bloom_bits=2^18``
+costs 32 KiB per generation.  False-positive rate after ``n`` inserts
+is the textbook ``(1 - e^{-kn/m})^k`` per generation.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.errors import ConfigError
+from repro.evidence.hashing import hash_pair, probe
+
+
+class RotatingBloom:
+    """Approximate set membership over the last ``capacity`` inserts."""
+
+    __slots__ = (
+        "bits", "hashes", "capacity", "seed", "_cur", "_prev", "_count",
+        "_rotated",
+    )
+
+    def __init__(
+        self, bits: int, hashes: int, capacity: int, seed: int = 0
+    ) -> None:
+        if bits < 8:
+            raise ConfigError(f"bloom bits must be >= 8, got {bits}")
+        if hashes < 1:
+            raise ConfigError(f"bloom hashes must be >= 1, got {hashes}")
+        if capacity < 1:
+            raise ConfigError(f"bloom capacity must be >= 1, got {capacity}")
+        self.bits = bits
+        self.hashes = hashes
+        self.capacity = capacity
+        self.seed = seed
+        self._cur = bytearray((bits + 7) // 8)
+        self._prev = bytearray((bits + 7) // 8)
+        self._count = 0
+        self._rotated = False
+
+    # ------------------------------------------------------------------
+    def _positions(self, key: Hashable) -> list:
+        h1, h2 = hash_pair(key, self.seed)
+        return [probe(h1, h2, i, self.bits) for i in range(self.hashes)]
+
+    def add(self, key: Hashable) -> None:
+        # Always set bits in the current generation -- even for keys
+        # already present -- so a re-added key survives the next
+        # rotation and the last-`capacity`-inserts window holds.
+        cur = self._cur
+        for pos in self._positions(key):
+            cur[pos >> 3] |= 1 << (pos & 7)
+        self._count += 1
+        if self._count >= self.capacity:
+            self.rotate()
+
+    def rotate(self) -> None:
+        """Retire the current generation (lookups still consult it)."""
+        self._prev = self._cur
+        self._cur = bytearray(len(self._prev))
+        self._count = 0
+        self._rotated = True
+
+    def _in(self, gen: bytearray, positions: list) -> bool:
+        return all(gen[pos >> 3] & (1 << (pos & 7)) for pos in positions)
+
+    def __contains__(self, key: Hashable) -> bool:
+        positions = self._positions(key)
+        return self._in(self._cur, positions) or self._in(self._prev, positions)
+
+    def clear(self) -> None:
+        self._cur = bytearray(len(self._cur))
+        self._prev = bytearray(len(self._prev))
+        self._count = 0
+        self._rotated = False
+
+    def __len__(self) -> int:
+        """Inserts guaranteed findable (current window + retained one)."""
+        return self._count + (self.capacity if self._rotated else 0)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of filter state (both generations)."""
+        return len(self._cur) + len(self._prev)

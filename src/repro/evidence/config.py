@@ -1,0 +1,94 @@
+"""Evidence-store selection and sketch sizing.
+
+DD-POLICE keeps three kinds of evidence state (ROADMAP item 2):
+
+* per-neighbor Out/In query minute counts (:mod:`repro.evidence.store`),
+* the query-GUID duplicate-suppression cache in every peer
+  (:mod:`repro.evidence.dedup`, ``SeenCache``),
+* the 5-second Neighbor_Traffic report dedup window
+  (:mod:`repro.evidence.dedup`, ``DedupWindow``).
+
+All three are exact by default (``backend="exact"``: byte-identical to
+the pre-refactor implementations) and can be switched to bounded-memory
+sketches (``backend="sketch"``: count-min counters, rotating Bloom
+membership) with the one knob below.  The knob lives on
+:class:`repro.core.config.DDPoliceConfig` (``police.evidence.*`` dotted
+paths) and on :class:`repro.overlay.network.NetworkConfig` for the
+peer-side seen cache; the spec layer copies the police setting into the
+network so one ``--set police.evidence.backend=sketch`` reaches every
+engine.  See docs/SKETCH.md for the error model and tuning guidance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: The two selectable evidence backends.
+BACKENDS = ("exact", "sketch")
+
+
+@dataclass(frozen=True)
+class EvidenceConfig:
+    """How the evidence stores are represented in memory.
+
+    The defaults size the sketches for the des-soa global traffic
+    arrays (one count-min pair shared by the whole overlay, hashed by
+    edge id); the per-peer scalar stores use the same width/depth per
+    minute frame.  Memory per count-min sketch is
+    ``cm_depth * cm_width * 4`` bytes (int32 cells in the SoA arrays,
+    int64 in the scalar store), per Bloom generation ``bloom_bits / 8``
+    bytes (two generations live at once).
+    """
+
+    #: "exact" (default; bit-identical to the pre-sketch code) or
+    #: "sketch" (count-min traffic counters + rotating-Bloom dedup).
+    backend: str = "exact"
+    #: Count-min columns per row.  Collision mass per cell is roughly
+    #: (total queries per minute) / cm_width, and estimates only ever
+    #: read high -- size it so that mass stays well under the warning
+    #: threshold (docs/SKETCH.md).
+    cm_width: int = 2048
+    #: Count-min rows (independent hash functions; estimate = row min).
+    cm_depth: int = 2
+    #: Bits per rotating-Bloom generation.
+    bloom_bits: int = 1 << 18
+    #: Hash probes per Bloom key.
+    bloom_hashes: int = 4
+    #: Inserts per Bloom generation before rotation (the no-false-
+    #: negative window).  0 = derive from the exact cache limit at the
+    #: point of use (e.g. the peer's seen-cache limit).
+    bloom_rotation: int = 0
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ConfigError(
+                f"evidence.backend must be one of {BACKENDS}, "
+                f"got {self.backend!r}"
+            )
+        if self.cm_width < 1:
+            raise ConfigError(
+                f"evidence.cm_width must be >= 1, got {self.cm_width}"
+            )
+        if self.cm_depth < 1:
+            raise ConfigError(
+                f"evidence.cm_depth must be >= 1, got {self.cm_depth}"
+            )
+        if self.bloom_bits < 8:
+            raise ConfigError(
+                f"evidence.bloom_bits must be >= 8, got {self.bloom_bits}"
+            )
+        if self.bloom_hashes < 1:
+            raise ConfigError(
+                f"evidence.bloom_hashes must be >= 1, got {self.bloom_hashes}"
+            )
+        if self.bloom_rotation < 0:
+            raise ConfigError(
+                f"evidence.bloom_rotation must be non-negative, "
+                f"got {self.bloom_rotation}"
+            )
+
+    @property
+    def sketched(self) -> bool:
+        return self.backend == "sketch"

@@ -1,0 +1,80 @@
+"""Count-min sketch with conservative update.
+
+The scalar workhorse behind :class:`~repro.evidence.store.
+CountMinTrafficStore`: ``depth`` rows of ``width`` int64 cells, each row
+indexed by an independent double-hashing probe.  ``estimate`` is the
+row minimum; ``add`` uses the conservative-update rule (raise a cell
+only up to ``estimate + count``), which never undercounts and tightens
+the classic ``eps * N`` overcount substantially on skewed streams --
+exactly the regime of a few flooding edges over mostly-quiet neighbors.
+
+Guarantees (property-tested in tests/property/test_sketch_properties.py):
+
+* ``estimate(k) >= true_count(k)`` always (no undercount);
+* ``estimate(k) <= true_count(k) + eps * N`` with probability
+  ``1 - delta`` for ``width = ceil(e / eps)``, ``depth = ceil(ln 1/delta)``,
+  where ``N`` is the total mass added.
+
+The vectorized count-min used by the SoA engine lives with its kernels
+in :mod:`repro.overlay.soa_network`; this class is the reference
+implementation the property tests pin both against.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.evidence.hashing import hash_pair, probe
+
+
+class CountMinSketch:
+    """Fixed-memory approximate counter over arbitrary hashable keys."""
+
+    __slots__ = ("width", "depth", "seed", "total", "_rows")
+
+    def __init__(self, width: int, depth: int, seed: int = 0) -> None:
+        if width < 1:
+            raise ConfigError(f"count-min width must be >= 1, got {width}")
+        if depth < 1:
+            raise ConfigError(f"count-min depth must be >= 1, got {depth}")
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        #: Total mass added (the N of the eps*N error bound).
+        self.total = 0
+        self._rows = np.zeros((depth, width), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def _columns(self, key: Hashable) -> list:
+        h1, h2 = hash_pair(key, self.seed)
+        return [probe(h1, h2, i, self.width) for i in range(self.depth)]
+
+    def add(self, key: Hashable, count: int = 1) -> None:
+        """Conservative update: never raise a cell past estimate+count."""
+        if count < 0:
+            raise ConfigError(f"count-min counts must be >= 0, got {count}")
+        if count == 0:
+            return
+        cols = self._columns(key)
+        rows = self._rows
+        target = min(int(rows[i, c]) for i, c in enumerate(cols)) + count
+        for i, c in enumerate(cols):
+            if rows[i, c] < target:
+                rows[i, c] = target
+        self.total += count
+
+    def estimate(self, key: Hashable) -> int:
+        cols = self._columns(key)
+        return min(int(self._rows[i, c]) for i, c in enumerate(cols))
+
+    def clear(self) -> None:
+        self._rows[:] = 0
+        self.total = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of counter state (the evidence-memory accounting unit)."""
+        return int(self._rows.nbytes)

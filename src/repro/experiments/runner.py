@@ -9,7 +9,7 @@ fluid-vs-DES cross-validation bench.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Set, Union
+from typing import Any, Dict, Optional, Set, Union
 
 from repro.attack.adaptive import AdaptiveConfig
 from repro.attack.cheating import CheatStrategy
@@ -121,6 +121,9 @@ class DESRun:
     obs: Optional[Observability] = None
     #: Wall-clock duration of the event loop (seconds).
     wall_s: float = 0.0
+    #: Bytes of DD-POLICE evidence state summed over all engines
+    #: (traffic stores + report-dedup windows); 0 without the defense.
+    evidence_bytes: int = 0
 
     @property
     def success_rate(self) -> float:
@@ -209,6 +212,7 @@ def run_des_experiment(config: DESConfig) -> DESRun:
         injector.attach(network, churn=churn, protected=tuple(sorted(bad_peers)))
 
     judgments: Optional[JudgmentLog] = None
+    engines: Dict[PeerId, Any] = {}
     if config.defense == "ddpolice":
         collusion = None
         if config.cheat_strategy is CheatStrategy.COLLUDE and bad_peers:
@@ -270,4 +274,8 @@ def run_des_experiment(config: DESConfig) -> DESRun:
         injector=injector,
         obs=obs,
         wall_s=wall_s,
+        evidence_bytes=sum(
+            e.monitor.evidence_bytes() + e._report_dedup.evidence_bytes()
+            for e in engines.values()
+        ),
     )

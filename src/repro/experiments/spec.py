@@ -142,6 +142,12 @@ class GridSpec:
     topologies: Tuple[str, ...] = ()
     #: Robustness-matrix defense rows; empty = scenario default.
     defenses: Tuple[str, ...] = ()
+    #: Sketch-frontier count-min widths (cells per row) swept against
+    #: the exact baseline; empty = scenario default.
+    cm_widths: Tuple[int, ...] = ()
+    #: Sketch-frontier attack rates (qpm per agent); empty = scenario
+    #: default.
+    attack_rates_qpm: Tuple[float, ...] = ()
     #: Simulated minutes; 0 = derive from the scale.
     minutes: int = 0
 
@@ -179,6 +185,10 @@ class GridSpec:
                     f"defenses: unknown defense {d!r} "
                     f"(valid: {', '.join(self._MATRIX_DEFENSES)})"
                 )
+        if any(w < 1 for w in self.cm_widths):
+            raise ConfigError("cm_widths must be >= 1")
+        if any(r <= 0 for r in self.attack_rates_qpm):
+            raise ConfigError("attack_rates_qpm must be positive")
         if self.minutes < 0:
             raise ConfigError("minutes must be non-negative")
 
@@ -555,6 +565,9 @@ class CaseResult:
     detection_latency_s: Optional[float] = None
     caught_attackers: int = 0
     total_attackers: int = 0
+    #: Bytes of DD-POLICE traffic-evidence state (exact per-edge minute
+    #: windows or count-min cells); 0 when the backend does not report it.
+    evidence_bytes: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -743,6 +756,7 @@ def _extract_case_result(
         detection_latency_s=latency,
         caught_attackers=caught,
         total_attackers=len(run.bad_peers),
+        evidence_bytes=int(getattr(run, "evidence_bytes", 0)),
     )
 
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
 from repro.errors import ConfigError, ProtocolError
+from repro.evidence.config import EvidenceConfig
 from repro.metrics.accounting import QueryAccounting
 from repro.overlay.capacity import TokenBucket
 from repro.overlay.content import ContentCatalog, ContentConfig
@@ -52,6 +53,17 @@ class NetworkConfig:
     #: the grace). ``MetricsCollector`` may override before the first
     #: rollover.
     metrics_grace_minutes: int = 1
+    #: Upper bound on remembered GUIDs per peer (seen cache + reverse-
+    #: path routes), mirroring the bounded routing tables of real
+    #: servents.  Promoted from a module constant so cache sizing is a
+    #: first-class, validated knob (``network.seen_cache_limit``).
+    seen_cache_limit: int = 50_000
+    #: Representation of each peer's GUID seen cache: exact LRU by
+    #: default, rotating Bloom at a fixed bit budget under
+    #: ``backend="sketch"`` (docs/SKETCH.md).  The reverse-path route
+    #: table stays exact either way -- it stores route *values*, which
+    #: a membership sketch cannot.
+    evidence: EvidenceConfig = EvidenceConfig()
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -78,6 +90,10 @@ class NetworkConfig:
             raise ConfigError(
                 f"metrics_grace_minutes must be non-negative, "
                 f"got {self.metrics_grace_minutes}"
+            )
+        if self.seen_cache_limit < 1:
+            raise ConfigError(
+                f"seen_cache_limit must be >= 1, got {self.seen_cache_limit}"
             )
 
 

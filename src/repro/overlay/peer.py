@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import ProtocolError
+from repro.evidence.dedup import SeenCache, make_seen_cache
 from repro.overlay.capacity import TokenBucket
 from repro.overlay.ids import Guid, PeerId
 from repro.overlay.message import (
@@ -47,8 +48,10 @@ class PeerState(enum.Enum):
     ONLINE = "online"
 
 
-#: Upper bound on remembered GUIDs per peer (LRU), mirroring the bounded
-#: routing tables of real servents.
+#: Historical default bound on remembered GUIDs per peer.  The live
+#: knob is :attr:`repro.overlay.network.NetworkConfig.seen_cache_limit`
+#: (validated there); this constant remains only as that default's
+#: documented origin and for backward-compatible imports.
 SEEN_CACHE_LIMIT = 50_000
 
 
@@ -122,10 +125,16 @@ class Peer:
         self.counters = PeerCounters()
 
         # GUID -> neighbor the query arrived from (reverse-path table), LRU.
+        # Always exact: it stores route *values*, which a membership
+        # sketch cannot.
         self._route_back: "OrderedDict[bytes, PeerId]" = OrderedDict()
-        # GUIDs already seen (includes own issues), LRU via _route_back keys
-        # plus own-issue marker entries.
-        self._seen: "OrderedDict[bytes, bool]" = OrderedDict()
+        # GUIDs already seen (includes own issues): pluggable membership
+        # (exact LRU by default, rotating Bloom under the sketch
+        # evidence backend -- docs/SKETCH.md), sized by the network's
+        # validated seen_cache_limit.
+        self._seen: SeenCache = make_seen_cache(
+            network.config.evidence, limit=network.config.seen_cache_limit
+        )
 
         # Per-neighbor per-current-minute counters (rolled by the network).
         self.out_query_window: Dict[PeerId, int] = {}
@@ -377,12 +386,10 @@ class Peer:
     # seen-cache bookkeeping
     # ------------------------------------------------------------------
     def _remember_seen(self, guid: Guid) -> None:
-        self._seen[guid.raw] = True
-        while len(self._seen) > SEEN_CACHE_LIMIT:
-            self._seen.popitem(last=False)
+        self._seen.add(guid.raw)
 
     def _evict_routes(self) -> None:
-        while len(self._route_back) > SEEN_CACHE_LIMIT:
+        while len(self._route_back) > self.network.config.seen_cache_limit:
             self._route_back.popitem(last=False)
 
     def has_seen(self, guid: Guid) -> bool:

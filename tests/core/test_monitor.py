@@ -63,5 +63,20 @@ def test_forget_removes_history():
 def test_validation():
     with pytest.raises(ConfigError):
         TrafficMonitor(history_minutes=0)
+    # The threshold check happens at construction (config time), not on
+    # every suspicious_neighbors call.
     with pytest.raises(ConfigError):
-        TrafficMonitor().suspicious_neighbors(0.0)
+        TrafficMonitor(warning_threshold_qpm=0.0)
+    with pytest.raises(ConfigError):
+        TrafficMonitor(warning_threshold_qpm=-1.0)
+
+
+def test_constructed_threshold_drives_suspicion():
+    mon = TrafficMonitor(warning_threshold_qpm=500.0)
+    mon.record_window(1, {}, {"quiet": 400, "loud": 600})
+    assert mon.suspicious_neighbors() == ["loud"]
+
+
+def test_unconfigured_threshold_requires_argument():
+    with pytest.raises(ConfigError):
+        TrafficMonitor().suspicious_neighbors()

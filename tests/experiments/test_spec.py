@@ -35,6 +35,7 @@ ALL_SPECS = (
     "exchange",
     "fault-sweep",
     "robustness-matrix",
+    "sketch-frontier",
 )
 
 

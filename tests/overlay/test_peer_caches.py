@@ -2,20 +2,25 @@
 
 import pytest
 
-import repro.overlay.peer as peer_module
+from repro.errors import ConfigError
 from repro.overlay.ids import PeerId
+from repro.overlay.network import NetworkConfig
 from tests.conftest import make_network
 
-
-@pytest.fixture
-def small_cache(monkeypatch):
-    """Shrink the LRU limits so eviction is observable."""
-    monkeypatch.setattr(peer_module, "SEEN_CACHE_LIMIT", 5)
-    yield 5
+#: Shrunk LRU limit so eviction is observable -- a first-class config
+#: knob now, not a monkeypatched module constant.
+SMALL = NetworkConfig(hop_latency_jitter_s=0.0, seed=0, seen_cache_limit=5)
 
 
-def test_seen_cache_evicts_oldest(small_cache):
-    sim, net = make_network({0: {1}})
+def test_seen_cache_limit_validated():
+    with pytest.raises(ConfigError):
+        NetworkConfig(seen_cache_limit=0)
+    with pytest.raises(ConfigError):
+        NetworkConfig(seen_cache_limit=-3)
+
+
+def test_seen_cache_evicts_oldest():
+    sim, net = make_network({0: {1}}, config=SMALL)
     p1 = net.peers[PeerId(1)]
     guids = []
     for i in range(8):
@@ -26,10 +31,10 @@ def test_seen_cache_evicts_oldest(small_cache):
     assert p1.has_seen(guids[-1])
 
 
-def test_evicted_guid_treated_as_novel_again(small_cache):
+def test_evicted_guid_treated_as_novel_again():
     """After eviction, a replayed GUID is processed as new -- the
     documented memory/precision tradeoff of bounded dup tables."""
-    sim, net = make_network({0: {1}})
+    sim, net = make_network({0: {1}}, config=SMALL)
     p0, p1 = net.peers[PeerId(0)], net.peers[PeerId(1)]
     first = p0.issue_query(("nosuch", "id900"))
     sim.run(until=0.2)
